@@ -1,0 +1,79 @@
+"""Figure 6: Wilson Dslash on 2 GPUs — overlapping vs non-overlapping
+communication and computation (paper Sec. VIII-C).
+
+Two parts:
+
+1. *Executed*: the real distributed Dslash (virtual machine, halo
+   exchange, inner/face schedule) at a laptop-scale volume; overlap
+   on/off results are bit-identical and the modeled times show the
+   overlap gain.
+2. *Modeled sweep*: the full volume range of Fig. 6 (L = 8..40) from
+   the generated kernels' metadata + device/interconnect models,
+   including the paper's absolute anchors (197/90 GFLOPS) and the
+   11%/7% overlap gains.
+"""
+
+import numpy as np
+import pytest
+
+from repro.comm import DistributedWilsonDslash, VirtualMachine
+from repro.perfmodel.dslashperf import figure_6, measure_dslash_kernels
+from repro.qdp.typesys import color_matrix, fermion
+
+from _util import header, report, table
+
+LS = [8, 12, 16, 20, 24, 28, 32, 36, 40]
+
+
+@pytest.fixture(scope="module")
+def vm_setup():
+    rng = np.random.default_rng(13)
+    vm = VirtualMachine((4, 4, 4, 8), (1, 1, 1, 2))
+    from repro.qcd import su3
+
+    u = [vm.field(color_matrix()) for _ in range(4)]
+    for umu in u:
+        g = su3.random_su3_near_unit(rng, vm.global_lattice.nsites, 0.2)
+        umu.from_global(g)
+    psi = vm.field(fermion())
+    psi.gaussian(rng)
+    d = DistributedWilsonDslash(vm, u)
+    dest = vm.field(fermion())
+    return vm, d, psi, dest
+
+
+def test_fig6_executed_overlap(benchmark, vm_setup):
+    vm, d, psi, dest = vm_setup
+    t = benchmark(d.apply, dest, psi, True)
+    t_no = d.apply(dest, psi, overlap=False)
+    header("Figure 6 (executed, 2 virtual GPUs, 4^3x8 global)")
+    report(f"overlap ON : modeled {t.total_s * 1e3:.3f} ms",
+           f"overlap OFF: modeled {t_no.total_s * 1e3:.3f} ms",
+           f"gain: {(t_no.total_s / t.total_s - 1) * 100:.1f}%")
+    assert t.total_s < t_no.total_s
+
+
+def test_fig6_modeled_sweep(benchmark):
+    stats_sp = measure_dslash_kernels("f32")
+    stats_dp = measure_dslash_kernels("f64")
+    curves = benchmark(figure_6, LS, stats_sp, stats_dp)
+    header("Figure 6 (modeled sweep): Dslash GFLOPS, 2x K20m ECC-on")
+    rows = []
+    for i, l in enumerate(LS):
+        rows.append((l,
+                     f"{curves['sp_overlap'][i][1]:.0f}",
+                     f"{curves['sp_nooverlap'][i][1]:.0f}",
+                     f"{curves['dp_overlap'][i][1]:.0f}",
+                     f"{curves['dp_nooverlap'][i][1]:.0f}"))
+    table(rows, ("L", "SP ovl", "SP no-ovl", "DP ovl", "DP no-ovl"))
+    sp_ov, sp_no = dict(curves["sp_overlap"]), dict(curves["sp_nooverlap"])
+    dp_ov, dp_no = dict(curves["dp_overlap"]), dict(curves["dp_nooverlap"])
+    sp_gain = (sp_ov[40] / sp_no[40] - 1) * 100
+    dp_gain = (dp_ov[40] / dp_no[40] - 1) * 100
+    report(f"SP overlap gain at L=40: {sp_gain:.1f}%  (paper: 11%)",
+           f"DP overlap gain at L=40: {dp_gain:.1f}%  (paper:  7%)",
+           f"absolute: SP@40 = {sp_ov[40]:.0f} GFLOPS (paper 197), "
+           f"DP@32 = {dp_ov[32]:.0f} GFLOPS (paper 90)")
+    assert sp_ov[40] == pytest.approx(197, rel=0.06)
+    assert dp_ov[32] == pytest.approx(90, rel=0.06)
+    assert 5 <= sp_gain <= 20

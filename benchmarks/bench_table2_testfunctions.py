@@ -1,0 +1,76 @@
+"""Table II: the five benchmark test functions and their arithmetic
+intensities, measured from the actually generated kernels.
+
+Also benchmarks the real (wall-clock) execution of each generated
+kernel at a laptop-scale volume — the numbers the modeled device times
+are layered on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.context import Context
+from repro.perfmodel.kernelperf import generate_test_kernels
+from repro.qcd.clover import CloverTerm
+from repro.qcd.gauge import weak_gauge
+from repro.qdp.fields import latt_color_matrix, latt_fermion, latt_spin_matrix
+from repro.qdp.lattice import Lattice
+
+from _util import header, report, table
+
+PAPER_AI = {"lcm": 0.458, "upsi": 0.5, "spmat": 0.62,
+            "matvec": 0.64, "clover": 0.525}
+
+
+def test_table2_arithmetic_intensity(benchmark):
+    stats = benchmark(generate_test_kernels, "f64")
+    header("Table II: test functions, flop/byte (DP)")
+    rows = []
+    for name, paper in PAPER_AI.items():
+        s = stats[name]
+        rows.append((name, s.flops_per_site, s.bytes_per_site,
+                     f"{s.flop_per_byte:.3f}", paper))
+    table(rows, ("test", "flops/site", "bytes/site", "measured", "paper"))
+    for name, paper in PAPER_AI.items():
+        assert stats[name].flop_per_byte == pytest.approx(paper, abs=0.006)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    ctx = Context()
+    lat = Lattice((8, 8, 8, 8))
+    rng = np.random.default_rng(0)
+    u = weak_gauge(lat, rng, context=ctx)
+    psi = latt_fermion(lat, context=ctx)
+    phi = latt_fermion(lat, context=ctx)
+    g2 = latt_spin_matrix(lat, context=ctx)
+    g3 = latt_spin_matrix(lat, context=ctx)
+    for f in (psi, phi, g2, g3):
+        f.gaussian(rng)
+    clov = CloverTerm(u, coeff=0.5)
+    return ctx, lat, u, psi, phi, g2, g3, clov
+
+
+@pytest.mark.parametrize("name", list(PAPER_AI))
+def test_kernel_execution(benchmark, workload, name):
+    ctx, lat, u, psi, phi, g2, g3, clov = workload
+    dests = {
+        "lcm": latt_color_matrix(lat, context=ctx),
+        "upsi": latt_fermion(lat, context=ctx),
+        "spmat": latt_spin_matrix(lat, context=ctx),
+        "matvec": latt_fermion(lat, context=ctx),
+        "clover": latt_fermion(lat, context=ctx),
+    }
+    exprs = {
+        "lcm": lambda: u[1] * u[2],
+        "upsi": lambda: u[0] * psi,
+        "spmat": lambda: g2 * g3,
+        "matvec": lambda: u[0] * psi + u[0] * phi,
+        "clover": lambda: clov.apply_expr(psi),
+    }
+    dest = dests[name]
+    cost = benchmark(lambda: dest.assign(exprs[name]()))
+    report(f"{name}: modeled kernel time at 8^4 = "
+           f"{dest.assign(exprs[name]()).time_s * 1e6:.1f} us, "
+           f"modeled sustained = "
+           f"{dest.assign(exprs[name]()).sustained_gbs:.1f} GB/s")

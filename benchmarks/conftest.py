@@ -1,0 +1,18 @@
+"""Benchmark-harness plumbing.
+
+Makes the helper module importable from the repository root and gives
+``_util.report`` a path around pytest's output capture (the terminal
+writer), so the regenerated table/figure rows land in
+``bench_output.txt`` when running ``pytest benchmarks/ | tee ...``.
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+import _util  # noqa: E402
+
+
+def pytest_configure(config):
+    _util.set_terminal_writer(config)

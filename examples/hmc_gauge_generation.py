@@ -1,0 +1,79 @@
+"""Gauge generation: the paper's headline application (Sec. VIII-D).
+
+Runs a miniature version of the production workload: 2+1 flavors with
+Hasenbusch mass preconditioning for the light pair and a rational
+(RHMC) term for the strange quark, on a three-level multi-timescale
+integrator — everything evaluated through the JIT pipeline.
+
+Run:  python examples/hmc_gauge_generation.py
+(takes a couple of minutes: a real RHMC, just on a tiny lattice)
+"""
+
+import time
+
+import numpy as np
+
+from repro.core import qdp_init
+from repro.hmc import (
+    HMC,
+    GaugeMonomial,
+    HasenbuschRatioMonomial,
+    Level,
+    MultiTimescaleIntegrator,
+    OneFlavorRationalMonomial,
+    TwoFlavorWilsonMonomial,
+    fourth_root,
+    inv_sqrt,
+)
+from repro.qcd.gauge import plaquette, weak_gauge
+from repro.qcd.wilson import WilsonParams
+from repro.qdp import Lattice
+
+ctx = qdp_init()
+lattice = Lattice((2, 4, 4, 4))
+rng = np.random.default_rng(2024)
+u = weak_gauge(lattice, rng, eps=0.2)
+print(f"start: plaquette = {plaquette(u):.5f}")
+
+# the 2+1 flavor composition (paper: anisotropic clover with mass
+# preconditioning [13] and the rational approximation [14])
+light = WilsonParams(kappa=0.115)
+heavy = WilsonParams(kappa=0.10)       # Hasenbusch preconditioner mass
+strange = WilsonParams(kappa=0.105)
+
+# rational approximations for the strange determinant: x^{-1/2} for
+# action/force, x^{+1/4} for the heatbath
+pf_action = inv_sqrt(0.05, 6.0, degree=12)
+pf_heatbath = fourth_root(0.05, 6.0, degree=12)
+print(f"rational approximations: degree {pf_action.degree}, max rel "
+      f"err {pf_action.max_rel_error:.1e} / {pf_heatbath.max_rel_error:.1e}")
+
+levels = [
+    # outer (coarse) timescale: the expensive, soft fermion forces
+    Level([HasenbuschRatioMonomial(light, heavy, tol=1e-9),
+           OneFlavorRationalMonomial(strange, pf_action, pf_heatbath,
+                                     tol=1e-9)], n_steps=2),
+    # middle: the heavy preconditioner determinant
+    Level([TwoFlavorWilsonMonomial(heavy, tol=1e-9)], n_steps=2),
+    # inner (fine) timescale: the stiff, cheap gauge force
+    Level([GaugeMonomial(beta=5.6)], n_steps=4, scheme="omelyan"),
+]
+
+hmc = HMC(u, MultiTimescaleIntegrator(levels), rng)
+print("\n traj      dH     acc   plaquette   CG iters   kernels   "
+      "device[s]   wall[s]")
+t0 = time.perf_counter()
+for i in range(3):
+    r = hmc.trajectory(tau=0.2)
+    print(f"  {i:3d}  {r.delta_h:+8.5f}  {str(r.accepted):>5}   "
+          f"{r.plaquette:.6f}   {r.solver_iterations:8d}   "
+          f"{r.kernels_launched:7d}   {r.modeled_device_seconds:9.4f}"
+          f"   {time.perf_counter() - t0:7.1f}")
+
+print(f"\nacceptance rate: {hmc.acceptance_rate:.0%}")
+print(f"distinct JIT-compiled kernels: "
+      f"{ctx.kernel_cache.stats.n_kernels} "
+      f"(paper: ~200 for the full production action)")
+print(f"modeled JIT overhead: "
+      f"{ctx.kernel_cache.stats.total_modeled_compile_seconds:.1f} s "
+      f"once per run (paper: 10-30 s, negligible)")

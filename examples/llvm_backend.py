@@ -1,0 +1,64 @@
+"""The LLVM backend: paper Sec. XI's future work, implemented.
+
+Generates a kernel through the normal expression pipeline, shows the
+PTX the framework emits, transpiles it to LLVM IR, and runs the same
+computation through the CPU work-item target — verifying bit-exact
+agreement with the (simulated) GPU path.
+
+Run:  python examples/llvm_backend.py
+"""
+
+import math
+
+import numpy as np
+
+from repro.core import qdp_init
+from repro.core.expr import adj
+from repro.llvm import LLVMBackend, transpile
+from repro.qdp import Lattice
+from repro.qdp.fields import latt_color_matrix, latt_fermion
+
+ctx = qdp_init()
+lattice = Lattice((4, 4, 4, 8))
+rng = np.random.default_rng(1)
+u = latt_color_matrix(lattice)
+psi = latt_fermion(lattice)
+u.gaussian(rng)
+psi.gaussian(rng)
+out = latt_fermion(lattice)
+
+# 1. evaluate through the PTX / simulated-GPU path
+out.assign(adj(u) * psi)
+gpu_result = out.to_numpy().copy()
+module = list(ctx.module_cache.values())[-1][0]
+print("generated PTX (head):")
+print("\n".join(module.render().splitlines()[:8]), "\n...")
+
+# 2. transpile the same PTX to LLVM IR
+ir = transpile(module.render())
+print(f"\nLLVM IR: {len(ir.text.splitlines())} lines, "
+      f"{len(ir.instructions)} instructions")
+print("\n".join(ir.text.splitlines()[:10]), "\n...")
+
+# 3. execute on the CPU target against the same device memory
+addrs = ctx.field_cache.make_available([out, u, psi])
+views = {n: ctx.device.pool.view(n) for n in
+         ("float32", "float64", "int32", "int64", "uint32", "uint64")}
+params = {"p_lo": lattice.nsites, "p_n": lattice.nsites,
+          "p_dst": addrs[out.uid], "p_f0": addrs[u.uid],
+          "p_f1": addrs[psi.uid]}
+start = addrs[out.uid] >> 3
+views["float64"][start:start + out.host.size] = 0   # wipe the result
+
+kernel = LLVMBackend().get_or_compile(module.render())
+kernel(views, params, math.ceil(lattice.nsites / 128), 128)
+
+cpu_words = ctx.device.memcpy_dtoh(addrs[out.uid], out.nbytes,
+                                   np.float64)[:out.host.size]
+gpu_check = latt_fermion(lattice)
+gpu_check.from_numpy(gpu_result)
+identical = np.array_equal(cpu_words, gpu_check.host)
+print(f"\nCPU (LLVM) vs GPU (PTX) results bit-identical: {identical}")
+assert identical
+print("one data-parallel layer, two targets — the porting story of "
+      "the paper, and its Sec. XI sequel.")

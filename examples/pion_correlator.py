@@ -1,0 +1,55 @@
+"""Analysis phase: a pion two-point function.
+
+The capacity-computing workflow of paper Sec. I: take a gauge
+configuration, compute a 12-column point propagator (even-odd
+preconditioned CG through the JIT pipeline), contract into the pion
+correlator and extract an effective mass.
+
+Run:  python examples/pion_correlator.py
+"""
+
+import time
+
+import numpy as np
+
+from repro.core import qdp_init
+from repro.qcd.analysis import (
+    compute_propagator,
+    effective_mass,
+    pion_correlator,
+    point_source,
+)
+from repro.qcd.gauge import plaquette, weak_gauge
+from repro.qcd.wilson import WilsonParams
+from repro.qdp import Lattice
+
+ctx = qdp_init()
+lattice = Lattice((4, 4, 4, 12))
+rng = np.random.default_rng(100)
+u = weak_gauge(lattice, rng, eps=0.15)
+print(f"configuration: {lattice.dims}, plaquette = {plaquette(u):.5f}")
+
+params = WilsonParams(kappa=0.115)
+print(f"computing the 12-column point propagator (kappa = "
+      f"{params.kappa}, m = {params.mass:.4f}) ...")
+t0 = time.perf_counter()
+prop = compute_propagator(
+    u, params,
+    lambda s, c: point_source(lattice, (0, 0, 0, 0), s, c),
+    tol=1e-9)
+print(f"done in {time.perf_counter() - t0:.1f} s "
+      f"({ctx.device.stats.kernel_launches} kernel launches, "
+      f"{ctx.kernel_cache.stats.n_kernels} distinct JIT kernels)")
+
+corr = pion_correlator(prop, lattice)
+meff = effective_mass(corr)
+print(f"\n{'t':>3} {'C(t)':>14} {'m_eff(t)':>10}")
+for t, c in enumerate(corr):
+    m = f"{meff[t]:10.4f}" if t < len(meff) else " " * 10
+    print(f"{t:>3} {c:14.6e} {m}")
+
+mid = len(corr) // 2
+print(f"\ncosh-symmetric correlator: C(1)/C({len(corr) - 1}) = "
+      f"{corr[1] / corr[-1]:.3f} (expect ~1)")
+print("the whole analysis ran through the expression-template ->"
+      " PTX -> driver-JIT pipeline.")

@@ -1,0 +1,8 @@
+"""Setup shim.
+
+Kept alongside pyproject.toml so that editable installs work on
+environments whose setuptools predates wheel-less PEP 660 support.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,41 @@
+"""repro: a reproduction of "A Framework for Lattice QCD Calculations
+on GPUs" (Winter, Clark, Edwards, Joó — QDP-JIT/PTX).
+
+The package mirrors the paper's layering:
+
+* :mod:`repro.qdp` — the QDP++ data-parallel interface (types,
+  fields, shifts, operator infix form);
+* :mod:`repro.core` — expression templates, PTX code generation,
+  evaluation, reductions;
+* :mod:`repro.ptx`, :mod:`repro.driver` — the secondary language and
+  the (simulated) driver JIT;
+* :mod:`repro.device`, :mod:`repro.memory` — the simulated GPU with
+  its bandwidth model, the flat device pool and the LRU field cache;
+* :mod:`repro.comm` — the virtual parallel machine with halo exchange
+  and comm/compute overlap;
+* :mod:`repro.qcd`, :mod:`repro.hmc`, :mod:`repro.quda` — the physics
+  layer, the gauge-generation application and the tuned comparator;
+* :mod:`repro.perfmodel` — the calibrated models regenerating the
+  paper's figures.
+
+Subpackages are imported lazily so that any of them can serve as the
+process's entry point without import-order cycles.
+"""
+
+from importlib import import_module
+
+__version__ = "1.0.0"
+
+_SUBPACKAGES = ("ptx", "driver", "device", "memory", "qdp", "core",
+                "comm", "qcd", "quda", "hmc", "perfmodel", "llvm",
+                "typesys")
+
+
+def __getattr__(name: str):
+    if name in _SUBPACKAGES:
+        return import_module(f"{__name__}.{name}")
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(list(globals()) + list(_SUBPACKAGES))

@@ -1,0 +1,112 @@
+"""Face gather/scatter kernels for halo exchange (paper Sec. V).
+
+"Compute kernels gather data into a contiguous region of GPU memory
+from where it's sent directly (MPI) to the destination node."  The
+gather kernel packs the words of the face sites into an SoA send
+buffer (word-major, face-slot fastest — coalesced); the scatter
+kernel unpacks a receive buffer into the face sites of the target
+field.  Both are built directly against the PTX builder and cached
+per element type.
+"""
+
+from __future__ import annotations
+
+from ..driver.cache import KernelCache
+from ..ptx.builder import KernelBuilder
+from ..ptx.isa import PTXType
+from ..ptx.module import PTXModule
+from ..ptx.verifier import verify
+
+_FT = {"f32": PTXType.F32, "f64": PTXType.F64}
+
+
+def build_gather_kernel(words_per_site: int, precision: str) -> PTXModule:
+    """buf[w * nface + t] = field[w * nsites + sites[t]]"""
+    kb = KernelBuilder(f"gather_w{words_per_site}_{precision}")
+    p_lo = kb.add_param("p_lo", PTXType.S32)        # field site stride
+    p_n = kb.add_param("p_n", PTXType.S32)          # face count
+    p_sites = kb.add_param("p_sites", PTXType.U64, is_pointer=True)
+    p_dst = kb.add_param("p_dst", PTXType.U64, is_pointer=True)   # buffer
+    p_src = kb.add_param("p_src", PTXType.U64, is_pointer=True)   # field
+    _emit_copy_body(kb, p_lo, p_n, p_sites, p_dst, p_src,
+                    words_per_site, precision, gather=True)
+    module = PTXModule.from_builder(kb)
+    verify(module)
+    return module
+
+
+def build_scatter_kernel(words_per_site: int, precision: str) -> PTXModule:
+    """field[w * nsites + sites[t]] = buf[w * nface + t]"""
+    kb = KernelBuilder(f"scatter_w{words_per_site}_{precision}")
+    p_lo = kb.add_param("p_lo", PTXType.S32)
+    p_n = kb.add_param("p_n", PTXType.S32)
+    p_sites = kb.add_param("p_sites", PTXType.U64, is_pointer=True)
+    p_dst = kb.add_param("p_dst", PTXType.U64, is_pointer=True)   # field
+    p_src = kb.add_param("p_src", PTXType.U64, is_pointer=True)   # buffer
+    _emit_copy_body(kb, p_lo, p_n, p_sites, p_dst, p_src,
+                    words_per_site, precision, gather=False)
+    module = PTXModule.from_builder(kb)
+    verify(module)
+    return module
+
+
+def _emit_copy_body(kb: KernelBuilder, p_lo, p_n, p_sites, p_dst, p_src,
+                    words_per_site: int, precision: str,
+                    gather: bool) -> None:
+    ft = _FT[precision]
+    wb = ft.nbytes
+    nsites = kb.ld_param(p_lo)
+    n = kb.ld_param(p_n)
+    sites_base = kb.ld_param(p_sites)
+    dst_base = kb.ld_param(p_dst)
+    src_base = kb.ld_param(p_src)
+    gid = kb.global_thread_id()
+    oob = kb.setp("ge", gid, n)
+    exit_lbl = kb.new_label("EXIT")
+    kb.bra(exit_lbl, guard=oob)
+
+    g64 = kb.cvt(gid, PTXType.S64)
+    soff = kb.mul(g64, kb.imm(4, PTXType.S64))
+    saddr = kb.add(sites_base, kb.cvt(soff, PTXType.U64))
+    site = kb.cvt(kb.ld_global(saddr, PTXType.S32), PTXType.S64)
+
+    field_site_b = kb.mul(site, kb.imm(wb, PTXType.S64))
+    buf_slot_b = kb.mul(g64, kb.imm(wb, PTXType.S64))
+    ns_b = kb.mul(kb.cvt(nsites, PTXType.S64), kb.imm(wb, PTXType.S64))
+    n_b = kb.mul(kb.cvt(n, PTXType.S64), kb.imm(wb, PTXType.S64))
+
+    for w in range(words_per_site):
+        w_imm = kb.imm(w, PTXType.S64)
+        field_off = kb.fma(ns_b, w_imm, field_site_b, PTXType.S64)
+        buf_off = kb.fma(n_b, w_imm, buf_slot_b, PTXType.S64)
+        if gather:
+            addr_src = kb.add(src_base, kb.cvt(field_off, PTXType.U64))
+            addr_dst = kb.add(dst_base, kb.cvt(buf_off, PTXType.U64))
+        else:
+            addr_src = kb.add(src_base, kb.cvt(buf_off, PTXType.U64))
+            addr_dst = kb.add(dst_base, kb.cvt(field_off, PTXType.U64))
+        val = kb.ld_global(addr_src, ft)
+        kb.st_global(addr_dst, val, ft)
+
+    kb.label(exit_lbl)
+    kb.ret()
+
+
+class FaceKernels:
+    """Per-context cache of compiled gather/scatter kernels."""
+
+    def __init__(self, kernel_cache: KernelCache):
+        self.kernel_cache = kernel_cache
+        self._modules: dict[tuple, tuple] = {}
+
+    def get(self, kind: str, words_per_site: int, precision: str):
+        key = (kind, words_per_site, precision)
+        entry = self._modules.get(key)
+        if entry is None:
+            build = (build_gather_kernel if kind == "gather"
+                     else build_scatter_kernel)
+            module = build(words_per_site, precision)
+            compiled, _ = self.kernel_cache.get_or_compile(module.render())
+            entry = (module, compiled)
+            self._modules[key] = entry
+        return entry

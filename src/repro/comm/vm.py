@@ -1,0 +1,331 @@
+"""The virtual parallel machine: P ranks in one process.
+
+Each rank owns a full framework context (simulated GPU, kernel cache,
+field cache) and a hypercubic sub-grid of the global lattice.  The VM
+executes rank operations round-robin; because ranks are homogeneous
+and the workload is bulk-synchronous, the modeled wall-clock of a
+collective step is the maximum over ranks of its modeled per-rank
+cost, and message transfer times come from the interconnect model.
+
+Data motion is real: halo exchange gathers face sites into contiguous
+device buffers with generated kernels (paper Sec. V), moves the bytes
+between the ranks' device pools, and scatters them on the receiving
+side — so multi-rank results are bit-comparable to single-rank runs,
+which the integration tests assert.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.context import Context
+from ..core.evaluator import evaluate
+from ..core.expr import shift as shift_expr
+from ..core.reduction import innerProduct, norm2
+from ..device.specs import DeviceSpec, K20X_ECC_OFF
+from ..qdp.fields import LatticeField
+from ..qdp.lattice import Lattice
+from ..qdp.typesys import TypeSpec
+from .faces import FaceKernels
+from .grid import Decomposition, ProcessorGrid
+from .netmodel import IB_QDR_CUDA_AWARE, NetworkModel
+
+
+@dataclass
+class Timeline:
+    """Accumulated modeled wall-clock, by component."""
+
+    kernel_s: float = 0.0
+    gather_s: float = 0.0
+    scatter_s: float = 0.0
+    comm_s: float = 0.0
+    reduce_s: float = 0.0
+
+    @property
+    def total_s(self) -> float:
+        return (self.kernel_s + self.gather_s + self.scatter_s
+                + self.comm_s + self.reduce_s)
+
+    def add(self, other: "Timeline") -> None:
+        self.kernel_s += other.kernel_s
+        self.gather_s += other.gather_s
+        self.scatter_s += other.scatter_s
+        self.comm_s += other.comm_s
+        self.reduce_s += other.reduce_s
+
+
+class DistributedField:
+    """A lattice field split over the VM's ranks (one shard each)."""
+
+    def __init__(self, vm: "VirtualMachine", spec: TypeSpec,
+                 name: str | None = None):
+        self.vm = vm
+        self.spec = spec
+        self.shards = [LatticeField(vm.local_lattice, spec,
+                                    context=vm.contexts[r],
+                                    name=f"{name or 'dfield'}@r{r}")
+                       for r in range(vm.nranks)]
+
+    def from_global(self, arr: np.ndarray) -> None:
+        """Scatter a global (gnsites, *shape) array to the shards."""
+        vm = self.vm
+        g = vm.global_lattice
+        want = (g.nsites,) + self.spec.shape
+        if arr.shape != want:
+            raise ValueError(f"expected {want}, got {arr.shape}")
+        ranks, lidx = vm.decomp.owner_of(g.coords)
+        for r in range(vm.nranks):
+            sel = ranks == r
+            local = np.empty((vm.local_lattice.nsites,) + self.spec.shape,
+                             dtype=arr.dtype)
+            local[lidx[sel]] = arr[sel]
+            self.shards[r].from_numpy(local)
+
+    def to_global(self) -> np.ndarray:
+        """Gather the shards into a global array."""
+        vm = self.vm
+        g = vm.global_lattice
+        ranks, lidx = vm.decomp.owner_of(g.coords)
+        dtype = (self.spec.complex_dtype if self.spec.is_complex
+                 else self.spec.dtype)
+        out = np.empty((g.nsites,) + self.spec.shape, dtype=dtype)
+        for r in range(vm.nranks):
+            sel = ranks == r
+            local = self.shards[r].to_numpy()
+            out[sel] = local[lidx[sel]]
+        return out
+
+    def gaussian(self, rng: np.random.Generator) -> None:
+        for s in self.shards:
+            s.gaussian(rng)
+
+
+class VirtualMachine:
+    """P simulated ranks over a decomposed global lattice."""
+
+    def __init__(self, global_dims, grid_dims,
+                 spec: DeviceSpec = K20X_ECC_OFF,
+                 net: NetworkModel = IB_QDR_CUDA_AWARE,
+                 pool_capacity: int | None = None,
+                 autotune: bool = True):
+        self.decomp = Decomposition(tuple(int(d) for d in global_dims),
+                                    ProcessorGrid(tuple(int(d)
+                                                        for d in grid_dims)))
+        self.grid = self.decomp.grid
+        self.nranks = self.grid.size
+        self.local_lattice = self.decomp.local_lattice()
+        self.global_lattice = self.decomp.global_lattice()
+        self.net = net
+        self.contexts = [Context(spec, pool_capacity=pool_capacity,
+                                 autotune=autotune)
+                         for _ in range(self.nranks)]
+        self.face_kernels = [FaceKernels(c.kernel_cache)
+                             for c in self.contexts]
+        self.timeline = Timeline()
+        # persistent per-(rank, mu, sign) send/recv buffers
+        self._buffers: dict[tuple, tuple[int, int]] = {}
+
+    # -- construction helpers -------------------------------------------
+
+    def field(self, spec: TypeSpec, name: str | None = None
+              ) -> DistributedField:
+        return DistributedField(self, spec, name)
+
+    def _buffer(self, rank: int, kind: str, mu: int, sign: int,
+                nbytes: int) -> int:
+        key = (rank, kind, mu, sign)
+        entry = self._buffers.get(key)
+        if entry is not None and entry[1] >= nbytes:
+            return entry[0]
+        if entry is not None:
+            self.contexts[rank].device.mem_free(entry[0])
+        addr = self.contexts[rank].field_cache._allocate_with_spill(
+            nbytes, set())
+        self._buffers[key] = (addr, nbytes)
+        return addr
+
+    # -- local (comm-free) evaluation --------------------------------------
+
+    def assign_local(self, dest: DistributedField, build_expr,
+                     subset=None) -> float:
+        """Evaluate a *local* expression on every rank.
+
+        ``build_expr(rank)`` returns the expression for that rank's
+        shard (it must not contain boundary-crossing shifts — use
+        :meth:`shift_into` for those).  Returns the modeled step time
+        (max over ranks) and adds it to the timeline.
+        """
+        worst = 0.0
+        for r in range(self.nranks):
+            cost = evaluate(dest.shards[r], build_expr(r), subset=subset,
+                            context=self.contexts[r])
+            worst = max(worst, cost.time_s)
+        self.timeline.kernel_s += worst
+        return worst
+
+    # -- reductions --------------------------------------------------------------
+
+    def _allreduce_time(self) -> float:
+        """Modeled allreduce of one scalar: a latency-bound tree."""
+        import math
+
+        hops = max(1, math.ceil(math.log2(max(self.nranks, 2))))
+        return 2 * hops * self.net.latency_s
+
+    def norm2(self, x: DistributedField, subset=None) -> float:
+        total = 0.0
+        for r in range(self.nranks):
+            total += norm2(x.shards[r], subset=subset,
+                           context=self.contexts[r])
+        self.timeline.reduce_s += self._allreduce_time()
+        return total
+
+    def innerProduct(self, a: DistributedField, b: DistributedField,
+                     subset=None) -> complex:
+        total = 0.0 + 0.0j
+        for r in range(self.nranks):
+            total += innerProduct(a.shards[r], b.shards[r], subset=subset,
+                                  context=self.contexts[r])
+        self.timeline.reduce_s += self._allreduce_time()
+        return total
+
+    # -- halo exchange ------------------------------------------------------------
+
+    def exchange(self, src: DistributedField, mu: int, sign: int,
+                 run_gather: bool = True) -> "ExchangeResult":
+        """Move the halo for ``shift(src, sign, mu)``.
+
+        The receiver of the forward shift needs the sender's lower
+        boundary plane: each rank gathers its plane into a contiguous
+        device buffer, the buffer moves to the neighbor's recv buffer
+        (network model), and the result records the per-rank recv
+        buffer addresses plus component times.  Scattering into the
+        destination is a separate step (so the overlap scheduler can
+        place it after the compute-on-inner-sites kernel).
+        """
+        local = self.local_lattice
+        spec = src.spec
+        send_sites = local.face_sites(mu, -sign)   # the plane we send
+        recv_sites = local.face_sites(mu, sign)    # the face we fill
+        nface = send_sites.size
+        nbytes = spec.words_per_site * spec.word_bytes * nface
+
+        gather_worst = 0.0
+        send_addrs = []
+        for r in range(self.nranks):
+            ctx = self.contexts[r]
+            sbuf = self._buffer(r, "send", mu, sign, nbytes)
+            send_addrs.append(sbuf)
+            if run_gather:
+                module, compiled = self.face_kernels[r].get(
+                    "gather", spec.words_per_site, spec.precision)
+                addrs = ctx.field_cache.make_available([src.shards[r]])
+                params = {
+                    "p_lo": local.nsites,
+                    "p_n": nface,
+                    "p_sites": ctx.upload_table(
+                        ("face", local.dims, mu, -sign), send_sites),
+                    "p_dst": sbuf,
+                    "p_src": addrs[src.shards[r].uid],
+                }
+                cost = ctx.device.launch(compiled, module.info, params,
+                                         nface, block_size=128,
+                                         precision=spec.precision)
+                gather_worst = max(gather_worst, cost.time_s)
+
+        # move bytes: rank r's send buffer -> neighbor(-sign... who
+        # receives r's plane?  For a forward shift, rank r's lower
+        # plane goes to rank r - mu_hat.
+        recv_addrs = [0] * self.nranks
+        for r in range(self.nranks):
+            dst_rank = self.grid.neighbor(r, mu, -sign)
+            rbuf = self._buffer(dst_rank, "recv", mu, sign, nbytes)
+            recv_addrs[dst_rank] = rbuf
+            data = self.contexts[r].device.pool.read(send_addrs[r], nbytes)
+            self.contexts[dst_rank].device.pool.write(rbuf, data)
+        comm_time = self.net.message_time(nbytes)
+
+        self.timeline.gather_s += gather_worst
+        self.timeline.comm_s += comm_time
+        return ExchangeResult(mu=mu, sign=sign, nface=nface,
+                              recv_sites=recv_sites, recv_addrs=recv_addrs,
+                              gather_time=gather_worst, comm_time=comm_time,
+                              nbytes=nbytes)
+
+    def scatter_halo(self, dest: DistributedField,
+                     ex: "ExchangeResult") -> float:
+        """Unpack a received halo into ``dest``'s face sites."""
+        local = self.local_lattice
+        spec = dest.spec
+        worst = 0.0
+        for r in range(self.nranks):
+            ctx = self.contexts[r]
+            module, compiled = self.face_kernels[r].get(
+                "scatter", spec.words_per_site, spec.precision)
+            addrs = ctx.field_cache.make_available([dest.shards[r]])
+            params = {
+                "p_lo": local.nsites,
+                "p_n": ex.nface,
+                "p_sites": ctx.upload_table(
+                    ("face", local.dims, ex.mu, ex.sign), ex.recv_sites),
+                "p_dst": addrs[dest.shards[r].uid],
+                "p_src": ex.recv_addrs[r],
+            }
+            cost = ctx.device.launch(compiled, module.info, params, ex.nface,
+                                     block_size=128, precision=spec.precision)
+            ctx.field_cache.mark_device_dirty(dest.shards[r])
+            worst = max(worst, cost.time_s)
+        self.timeline.scatter_s += worst
+        return worst
+
+    def fill_shift_interior(self, dest: DistributedField,
+                            src: DistributedField, mu: int,
+                            sign: int) -> float:
+        """dest = shift(src) on the sites whose source is on-rank."""
+        local = self.local_lattice
+        inner = _interior_subset(local, mu, sign)
+        worst = 0.0
+        for r in range(self.nranks):
+            cost = evaluate(dest.shards[r],
+                            shift_expr(src.shards[r].ref(), sign, mu),
+                            subset=inner, context=self.contexts[r])
+            worst = max(worst, cost.time_s)
+        self.timeline.kernel_s += worst
+        return worst
+
+    def shift_into(self, dest: DistributedField, src: DistributedField,
+                   mu: int, sign: int) -> None:
+        """dest = shift(src, sign, mu), non-overlapped (sequential)."""
+        ex = self.exchange(src, mu, sign)
+        self.fill_shift_interior(dest, src, mu, sign)
+        self.scatter_halo(dest, ex)
+
+
+@dataclass
+class ExchangeResult:
+    mu: int
+    sign: int
+    nface: int
+    recv_sites: np.ndarray
+    recv_addrs: list[int]
+    gather_time: float
+    comm_time: float
+    nbytes: int
+
+
+_interior_cache: dict[tuple, object] = {}
+
+
+def _interior_subset(local: Lattice, mu: int, sign: int):
+    """Subset of sites whose shift source is on-rank (cached)."""
+    from ..qdp.lattice import Subset
+
+    key = (local.dims, mu, sign)
+    sub = _interior_cache.get(key)
+    if sub is None:
+        sub = Subset(f"int{mu}{'+' if sign > 0 else '-'}",
+                     local.inner_sites([(mu, sign)]))
+        _interior_cache[key] = sub
+    return sub

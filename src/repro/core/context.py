@@ -1,0 +1,95 @@
+"""The QDP-JIT context: one device's worth of framework state.
+
+Bundles the simulated device, the driver's compiled-kernel cache, the
+generated-PTX module cache, the field software-cache and the
+auto-tuner.  A default global context (the single-GPU case) is created
+lazily by :func:`qdp_init`; multi-rank runs (the virtual machine in
+:mod:`repro.comm`) create one context per rank.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..device.autotune import Autotuner
+from ..device.gpu import Device
+from ..device.specs import DeviceSpec, K20X_ECC_OFF
+from ..driver.cache import KernelCache
+from ..memory.cache import FieldCache
+
+
+@dataclass
+class ContextStats:
+    """High-level counters for one context."""
+
+    expressions_evaluated: int = 0
+    kernels_generated: int = 0
+    reductions: int = 0
+
+
+class Context:
+    """Framework state for one (simulated) GPU."""
+
+    def __init__(self, spec: DeviceSpec = K20X_ECC_OFF,
+                 pool_capacity: int | None = None,
+                 autotune: bool = True,
+                 default_block_size: int = 128):
+        self.device = Device(spec, pool_capacity=pool_capacity)
+        self.kernel_cache = KernelCache()
+        self.field_cache = FieldCache(self.device)
+        self.autotuner = Autotuner(self.device) if autotune else None
+        self.default_block_size = default_block_size
+        #: structural expression signature -> (PTXModule, plan, compiled)
+        self.module_cache: dict[str, object] = {}
+        self.stats = ContextStats()
+        #: uploaded int32 tables (shift maps, subset site lists):
+        #: key -> (addr, length)
+        self._tables: dict[object, tuple[int, int]] = {}
+
+    # -- device-resident int32 tables -----------------------------------
+
+    def upload_table(self, key, values) -> int:
+        """Upload (once) an int32 table; returns its device address.
+
+        Used for shift gather maps and subset site lists.  Tables are
+        immutable and never spilled (they are small compared to
+        fields and regeneration would thrash).
+        """
+        import numpy as np
+
+        entry = self._tables.get(key)
+        if entry is not None:
+            return entry[0]
+        arr = np.ascontiguousarray(values, dtype=np.int32)
+        addr = self.device.mem_alloc(arr.nbytes)
+        self.device.memcpy_htod(addr, arr)
+        self._tables[key] = (addr, arr.size)
+        return addr
+
+    def drop_tables(self) -> None:
+        for addr, _ in self._tables.values():
+            self.device.mem_free(addr)
+        self._tables.clear()
+
+
+_default_context: Context | None = None
+
+
+def qdp_init(spec: DeviceSpec = K20X_ECC_OFF, **kwargs) -> Context:
+    """(Re)initialize the default global context, QDP++-style."""
+    global _default_context
+    _default_context = Context(spec, **kwargs)
+    return _default_context
+
+
+def default_context() -> Context:
+    """The default context, creating it on first use."""
+    global _default_context
+    if _default_context is None:
+        _default_context = Context()
+    return _default_context
+
+
+def set_default_context(ctx: Context | None) -> None:
+    global _default_context
+    _default_context = ctx

@@ -1,0 +1,101 @@
+"""Mathematical functions in generated kernels (paper Sec. III-D).
+
+PTX has no C math library: only the "fastmath" hardware
+approximations (``sin.approx``, ``cos.approx``, ``ex2.approx``,
+``lg2.approx``, ``sqrt``, ``rsqrt``) exist.  The paper works around
+this by pre-generating PTX subroutines for the precise functions and
+having the code generator "silently issue calls to the appropriate
+subroutine every time a mathematical function is requested".
+
+This module is that mechanism: each function is an inline PTX
+expansion built from the available instructions (e.g. ``exp`` via
+``ex2`` with an exact base-conversion constant).  Simulated-device
+note: our driver JIT implements the ``.approx`` instructions at full
+NumPy precision, so the reduced-accuracy caveat of real fastmath does
+not bite here (documented deviation, DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..ptx.builder import KernelBuilder
+from ..ptx.isa import PTXType, Register
+
+#: log2(e) and ln(2) to full double precision — the conversion
+#: constants of the exp/log subroutines.
+LOG2_E = math.log2(math.e)
+LN_2 = math.log(2.0)
+
+
+def emit_exp(kb: KernelBuilder, x: Register, t: PTXType) -> Register:
+    """exp(x) = 2^(x * log2 e)."""
+    scaled = kb.mul(x, kb.imm(LOG2_E, t), t)
+    return kb.unary("ex2", scaled, t)
+
+
+def emit_log(kb: KernelBuilder, x: Register, t: PTXType) -> Register:
+    """log(x) = lg2(x) * ln 2."""
+    l2 = kb.unary("lg2", x, t)
+    return kb.mul(l2, kb.imm(LN_2, t), t)
+
+
+def emit_sin(kb: KernelBuilder, x: Register, t: PTXType) -> Register:
+    return kb.unary("sin", x, t)
+
+
+def emit_cos(kb: KernelBuilder, x: Register, t: PTXType) -> Register:
+    return kb.unary("cos", x, t)
+
+
+def emit_tan(kb: KernelBuilder, x: Register, t: PTXType) -> Register:
+    """tan = sin / cos — the subroutine composition the paper's
+    pre-generated kernels use."""
+    s = kb.unary("sin", x, t)
+    c = kb.unary("cos", x, t)
+    return kb.div(s, c, t)
+
+
+def emit_sqrt(kb: KernelBuilder, x: Register, t: PTXType) -> Register:
+    return kb.unary("sqrt", x, t)
+
+
+def emit_rsqrt(kb: KernelBuilder, x: Register, t: PTXType) -> Register:
+    return kb.unary("rsqrt", x, t)
+
+
+def emit_fabs(kb: KernelBuilder, x: Register, t: PTXType) -> Register:
+    return kb.unary("abs", x, t)
+
+
+def emit_pow(kb: KernelBuilder, x: Register, exponent: float,
+             t: PTXType) -> Register:
+    """x^p for a compile-time exponent: 2^(p * lg2 x).
+
+    Small integer exponents unroll into multiplies instead (cheaper
+    and exact), mirroring what a real code generator does.
+    """
+    if exponent == int(exponent) and 1 <= abs(exponent) <= 4:
+        n = int(abs(exponent))
+        acc = x
+        for _ in range(n - 1):
+            acc = kb.mul(acc, x, t)
+        if exponent < 0:
+            acc = kb.unary("rcp", acc, t)
+        return acc
+    l2 = kb.unary("lg2", x, t)
+    scaled = kb.mul(l2, kb.imm(exponent, t), t)
+    return kb.unary("ex2", scaled, t)
+
+
+#: op name -> emitter, the dispatch table the unparser consults.
+MATH_EMITTERS = {
+    "exp": emit_exp,
+    "log": emit_log,
+    "sin": emit_sin,
+    "cos": emit_cos,
+    "tan": emit_tan,
+    "sqrt": emit_sqrt,
+    "rsqrt": emit_rsqrt,
+    "fabs": emit_fabs,
+}

@@ -1,0 +1,254 @@
+"""Global reductions: norm2, innerProduct, sum.
+
+Reductions are two-stage, as on a real GPU: a generated PTX kernel
+computes one f64 partial per thread (accumulating in double precision
+regardless of field precision, as QDP-JIT does), and a device
+primitive folds the partial buffer.  Only the final scalar crosses to
+the host — fields are never paged out for a reduction.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+from typing import TYPE_CHECKING
+
+from ..ptx.builder import KernelBuilder
+from ..ptx.isa import Immediate, PTXType
+from ..ptx.module import PTXModule
+from ..ptx.verifier import verify
+from .codegen import CVal, Unparser
+
+if TYPE_CHECKING:
+    from ..qdp.lattice import Subset
+from .context import Context
+from .evaluator import _normalize, _shift_table
+from .expr import Expr, ExprTypeError, FieldRef, SlotAssigner, as_expr
+
+
+class ReductionError(Exception):
+    pass
+
+
+def _find_field(expr: Expr):
+    if isinstance(expr, FieldRef):
+        return expr.field
+    for c in expr.children():
+        f = _find_field(c)
+        if f is not None:
+            return f
+    return None
+
+
+def _build_reduction_kernel(name: str, kind: str, exprs: list[Expr],
+                            slots: SlotAssigner, subset_mode: bool):
+    """Generate the partials kernel for a reduction.
+
+    ``kind``: ``norm2`` (sum of |component|^2), ``sum`` (component sum
+    of a scalar-shaped expression, complex out) or ``inner``
+    (sum over components of conj(a)*b, complex out).
+    """
+    kb = KernelBuilder(name)
+    p_lo = kb.add_param("p_lo", PTXType.S32)
+    p_n = kb.add_param("p_n", PTXType.S32)
+    p_stab = (kb.add_param("p_stab", PTXType.U64, is_pointer=True)
+              if subset_mode else None)
+    p_shifts = [kb.add_param(f"p_sh{i}", PTXType.U64, is_pointer=True)
+                for i in range(len(slots.shifts))]
+    complex_out = kind in ("sum", "inner")
+    p_out_re = kb.add_param("p_out_re", PTXType.U64, is_pointer=True)
+    p_out_im = (kb.add_param("p_out_im", PTXType.U64, is_pointer=True)
+                if complex_out else None)
+    p_fields = [kb.add_param(f"p_f{i}", PTXType.U64, is_pointer=True)
+                for i in range(len(slots.fields))]
+    scalar_params = []
+    for i, sn in enumerate(slots.scalar_slots):
+        ft = PTXType.F32 if sn.spec.precision == "f32" else PTXType.F64
+        pre = kb.add_param(f"p_s{i}_re", ft)
+        pim = kb.add_param(f"p_s{i}_im", ft) if sn.spec.is_complex else None
+        scalar_params.append((pre, pim))
+
+    prec = exprs[0].spec.precision
+    up = Unparser(kb, slots, exprs[0].spec, subset_mode)
+    up.nsites_reg = kb.ld_param(p_lo)
+    n_active = kb.ld_param(p_n)
+    stab_base = kb.ld_param(p_stab) if subset_mode else None
+    up._shift_bases = [kb.ld_param(p) for p in p_shifts]
+    out_re_base = kb.ld_param(p_out_re)
+    out_im_base = kb.ld_param(p_out_im) if p_out_im is not None else None
+    up._leaf_bases = [kb.ld_param(p) for p in p_fields]
+    for (pre, pim) in scalar_params:
+        re = kb.ld_param(pre)
+        im = kb.ld_param(pim) if pim is not None else None
+        up._scalar_vals.append(CVal(re=re, im=im))
+
+    gid = kb.global_thread_id()
+    oob = kb.setp("ge", gid, n_active)
+    exit_lbl = kb.new_label("EXIT")
+    kb.bra(exit_lbl, guard=oob)
+    if subset_mode:
+        g64 = kb.cvt(gid, PTXType.S64)
+        off = kb.mul(g64, kb.imm(4, PTXType.S64))
+        addr = kb.add(stab_base, kb.cvt(off, PTXType.U64))
+        up.site_reg = kb.ld_global(addr, PTXType.S32)
+    else:
+        up.site_reg = gid
+    up._view_sites[None] = up.site_reg
+
+    ops = up.ops
+    spec = exprs[0].spec
+    acc = None
+    if kind == "norm2":
+        (expr,) = exprs
+        for sidx in spec.spin_indices():
+            for cidx in spec.color_indices():
+                v = up.gen(expr, sidx, cidx)
+                v = ops._materialize(v, PTXType.F64)
+                # |z|^2 = re^2 + im^2, accumulated with fma
+                t = (kb.fma(v.re, v.re, acc, PTXType.F64) if acc is not None
+                     else kb.mul(v.re, v.re, PTXType.F64))
+                acc = t
+                if v.im is not None:
+                    acc = kb.fma(v.im, v.im, acc, PTXType.F64)
+        acc = CVal(re=acc)
+    elif kind == "sum":
+        (expr,) = exprs
+        if spec.spin or spec.color:
+            raise ReductionError(
+                "sum() needs a scalar-shaped expression; trace first")
+        acc = up.gen(expr, (), ())
+    elif kind == "inner":
+        a, b = exprs
+        if a.spec.spin != b.spec.spin or a.spec.color != b.spec.color:
+            raise ExprTypeError("innerProduct shape mismatch")
+        for sidx in spec.spin_indices():
+            for cidx in spec.color_indices():
+                va = up.gen(a, sidx, cidx)
+                vb = up.gen(b, sidx, cidx)
+                t = ops.mul_conj(va, vb)
+                acc = t if acc is None else ops.add(acc, t)
+    else:
+        raise ReductionError(f"unknown reduction kind {kind!r}")
+
+    acc = ops._materialize(acc, PTXType.F64)
+    # store partial at out + gid*8
+    g64 = kb.cvt(gid, PTXType.S64)
+    off = kb.cvt(kb.mul(g64, kb.imm(8, PTXType.S64)), PTXType.U64)
+    kb.st_global(kb.add(out_re_base, off), acc.re, PTXType.F64)
+    if complex_out:
+        im_operand = acc.im if acc.im is not None else Immediate(
+            PTXType.F64, 0.0)
+        kb.st_global(kb.add(out_im_base, off), im_operand, PTXType.F64)
+    kb.label(exit_lbl)
+    kb.ret()
+    return PTXModule.from_builder(kb)
+
+
+def _reduce(kind: str, exprs: list[Expr], subset: Subset | None,
+            context: Context | None):
+    exprs = [as_expr(e) for e in exprs]
+    f0 = _find_field(exprs[0])
+    if f0 is None:
+        raise ReductionError("reduction needs at least one lattice field")
+    ctx = context if context is not None else f0.context
+    lattice = f0.lattice
+    if subset is None:
+        subset = lattice.all_sites
+    exprs = [_normalize(e, f0, ctx) for e in exprs]
+
+    slots = SlotAssigner()
+    sigs = ",".join(e.signature(slots) for e in exprs)
+    subset_mode = not subset.is_full
+    key = f"red:{kind}({sigs})|{'sub' if subset_mode else 'full'}"
+    entry = ctx.module_cache.get(key)
+    if entry is None:
+        name = "red_" + hashlib.sha256(key.encode()).hexdigest()[:12]
+        module = _build_reduction_kernel(name, kind, exprs, slots,
+                                         subset_mode)
+        verify(module)
+        compiled, was_cached = ctx.kernel_cache.get_or_compile(module.render())
+        if not was_cached:
+            ctx.device.charge_jit(compiled.modeled_compile_seconds)
+            ctx.stats.kernels_generated += 1
+        entry = (module, compiled)
+        ctx.module_cache[key] = entry
+    module, compiled = entry
+
+    n_active = len(subset)
+    complex_out = kind in ("sum", "inner")
+    scratch = ctx_scratch(ctx, n_active * 8 * (2 if complex_out else 1))
+    addrs = ctx.field_cache.make_available(slots.fields)
+
+    params = {"p_lo": lattice.nsites, "p_n": n_active,
+              "p_out_re": scratch}
+    if complex_out:
+        params["p_out_im"] = scratch + n_active * 8
+    if subset_mode:
+        params["p_stab"] = ctx.upload_table(
+            ("subset", lattice.dims, subset.name), subset.sites)
+    for i, (mu, sign) in enumerate(slots.shifts):
+        params[f"p_sh{i}"] = _shift_table(ctx, lattice, mu, sign)
+    for i, f in enumerate(slots.fields):
+        params[f"p_f{i}"] = addrs[f.uid]
+    for i, sn in enumerate(slots.scalar_slots):
+        params[f"p_s{i}_re"] = sn.value.real
+        if sn.spec.is_complex:
+            params[f"p_s{i}_im"] = sn.value.imag
+
+    precision = exprs[0].spec.precision
+    if ctx.autotuner is not None:
+        ctx.autotuner.launch(compiled, module.info, params, n_active,
+                             precision=precision)
+    else:
+        ctx.device.launch(compiled, module.info, params, n_active,
+                          block_size=ctx.default_block_size,
+                          precision=precision)
+    ctx.stats.reductions += 1
+    re = ctx.device.reduce_f64(scratch, n_active)
+    if complex_out:
+        im = ctx.device.reduce_f64(scratch + n_active * 8, n_active)
+        return complex(re, im)
+    return re
+
+
+def ctx_scratch(ctx: Context, nbytes: int) -> int:
+    """A grow-only scratch allocation on the context's device."""
+    cur = getattr(ctx, "_scratch", None)
+    if cur is not None and cur[1] >= nbytes:
+        return cur[0]
+    if cur is not None:
+        ctx.device.mem_free(cur[0])
+    addr = ctx.field_cache._allocate_with_spill(nbytes, set())
+    ctx._scratch = (addr, nbytes)
+    return addr
+
+
+# -- public API ---------------------------------------------------------------
+
+def norm2(x, subset: Subset | None = None, context: Context | None = None
+          ) -> float:
+    """``norm2(x)``: the squared 2-norm, summed over all components
+    and (subset) sites.  Always accumulated in double precision."""
+    return _reduce("norm2", [x], subset, context)
+
+
+def innerProduct(a, b, subset: Subset | None = None,
+                 context: Context | None = None) -> complex:
+    """``<a|b>`` with the physics convention: conjugate on the left."""
+    return _reduce("inner", [a, b], subset, context)
+
+
+def innerProductReal(a, b, subset: Subset | None = None,
+                     context: Context | None = None) -> float:
+    """Real part of the inner product (one fewer reduction column
+    would be possible; we reuse the complex kernel for simplicity)."""
+    return _reduce("inner", [a, b], subset, context).real
+
+
+def sum_sites(x, subset: Subset | None = None,
+              context: Context | None = None) -> complex:
+    """Sum a scalar-shaped (LatticeComplex/LatticeReal) expression
+    over sites.  Use ``trace(...)`` to scalarize matrices first."""
+    return _reduce("sum", [x], subset, context)

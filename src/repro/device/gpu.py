@@ -1,0 +1,166 @@
+"""The simulated CUDA device + runtime.
+
+A :class:`Device` owns the flat device memory pool and executes
+JIT-compiled kernels.  Execution is *functionally real* — the compiled
+kernel reads and writes the pool through typed views, producing the
+same answers a GPU would — while *time* is modeled by
+:mod:`repro.device.memmodel` and accumulated on a device clock.  All
+benchmark numbers reported by the harness come from this clock.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..driver.jitcompiler import CompiledKernel
+from ..memory.pool import DevicePool
+from ..ptx.isa import KernelInfo
+from .memmodel import KernelCost, LaunchError, blocks_per_sm, kernel_cost, transfer_time
+from .specs import DeviceSpec, K20X_ECC_OFF
+
+_VIEW_DTYPES = ("float32", "float64", "int32", "int64", "uint32", "uint64")
+
+
+@dataclass
+class DeviceStats:
+    """Cumulative counters for one device."""
+
+    kernel_launches: int = 0
+    launch_failures: int = 0
+    modeled_kernel_time_s: float = 0.0
+    wall_kernel_time_s: float = 0.0
+    bytes_h2d: int = 0
+    bytes_d2h: int = 0
+    n_h2d: int = 0
+    n_d2h: int = 0
+    modeled_transfer_time_s: float = 0.0
+    modeled_jit_time_s: float = 0.0
+    per_kernel_time_s: dict = field(default_factory=dict)
+
+
+class Device:
+    """A simulated CUDA device.
+
+    Parameters
+    ----------
+    spec:
+        The device specification (defaults to the paper's K20x with
+        ECC disabled).
+    pool_capacity:
+        Bytes of device memory actually backed by host RAM.  Defaults
+        to ``min(spec.memory_bytes, 1 GiB)``; the allocator enforces
+        this capacity, which is what drives LRU spills in tests.
+    """
+
+    def __init__(self, spec: DeviceSpec = K20X_ECC_OFF,
+                 pool_capacity: int | None = None):
+        self.spec = spec
+        if pool_capacity is None:
+            pool_capacity = min(spec.memory_bytes, 1 << 30)
+        self.pool = DevicePool(pool_capacity)
+        self._views = {name: self.pool.view(name) for name in _VIEW_DTYPES}
+        self.stats = DeviceStats()
+        #: modeled device time, seconds since construction
+        self.clock = 0.0
+
+    # -- memory ---------------------------------------------------------
+
+    def mem_alloc(self, nbytes: int) -> int:
+        return self.pool.allocate(nbytes)
+
+    def mem_free(self, addr: int) -> None:
+        self.pool.free(addr)
+
+    def memcpy_htod(self, addr: int, host: np.ndarray) -> float:
+        """Copy host array to device; returns the modeled time."""
+        self.pool.write(addr, host)
+        t = transfer_time(self.spec, host.nbytes)
+        self.stats.bytes_h2d += host.nbytes
+        self.stats.n_h2d += 1
+        self.stats.modeled_transfer_time_s += t
+        self.clock += t
+        return t
+
+    def memcpy_dtoh(self, addr: int, nbytes: int, dtype=np.uint8) -> np.ndarray:
+        out = self.pool.read(addr, nbytes, dtype=dtype)
+        t = transfer_time(self.spec, nbytes)
+        self.stats.bytes_d2h += nbytes
+        self.stats.n_d2h += 1
+        self.stats.modeled_transfer_time_s += t
+        self.clock += t
+        return out
+
+    # -- kernel launch ----------------------------------------------------
+
+    def validate_launch(self, block_size: int, regs_per_thread: int) -> None:
+        """Raise :class:`LaunchError` if the configuration cannot run."""
+        blocks_per_sm(self.spec, block_size, regs_per_thread)
+
+    def launch(self, kernel: CompiledKernel, info: KernelInfo,
+               params: dict, nsites: int, block_size: int,
+               precision: str = "f64",
+               regs_per_thread: int | None = None) -> KernelCost:
+        """Launch ``kernel`` over ``nsites`` threads of real work.
+
+        Executes the compiled kernel against device memory and charges
+        the modeled time to the device clock.  Raises
+        :class:`LaunchError` (without executing) when the launch
+        configuration exhausts SM resources.
+        """
+        import time as _time
+
+        if regs_per_thread is None:
+            regs_per_thread = kernel.regs_per_thread
+        try:
+            cost = kernel_cost(
+                self.spec, nsites=nsites, block_size=block_size,
+                regs_per_thread=regs_per_thread,
+                bytes_per_site=info.bytes_per_site,
+                flops_per_site=info.flops_per_site,
+                precision=precision)
+        except LaunchError:
+            self.stats.launch_failures += 1
+            raise
+        grid = math.ceil(nsites / block_size)
+        w0 = _time.perf_counter()
+        # inactive (guarded-off) lanes compute on whatever their safe
+        # clamped loads return — exactly like masked SIMT lanes on a
+        # real GPU; their FP exceptions are meaningless
+        with np.errstate(all="ignore"):
+            kernel(self._views, params, grid, block_size)
+        wall = _time.perf_counter() - w0
+        self.stats.kernel_launches += 1
+        self.stats.modeled_kernel_time_s += cost.time_s
+        self.stats.wall_kernel_time_s += wall
+        per = self.stats.per_kernel_time_s
+        per[kernel.name] = per.get(kernel.name, 0.0) + cost.time_s
+        self.clock += cost.time_s
+        return cost
+
+    def reduce_f64(self, addr: int, count: int) -> float:
+        """Device-side sum reduction over ``count`` f64 partials.
+
+        The second stage of a two-stage reduction: a generated kernel
+        writes per-thread partials, this primitive folds them.  Time
+        is modeled as one full-occupancy streaming pass over the
+        partial buffer.
+        """
+        view = self._views["float64"]
+        start = addr >> 3
+        value = float(view[start:start + count].sum())
+        from .memmodel import sustained_bandwidth
+
+        bw = sustained_bandwidth(self.spec, 256, 16, max(count, 1), 8)
+        t = count * 8 / bw + self.spec.launch_overhead_s
+        self.stats.kernel_launches += 1
+        self.stats.modeled_kernel_time_s += t
+        self.clock += t
+        return value
+
+    def charge_jit(self, modeled_seconds: float) -> None:
+        """Account the modeled driver-JIT compilation cost."""
+        self.stats.modeled_jit_time_s += modeled_seconds
+        self.clock += modeled_seconds

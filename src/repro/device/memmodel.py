@@ -1,0 +1,148 @@
+"""The sustained-bandwidth / kernel-time model.
+
+LQCD streaming kernels are memory-bandwidth bound (paper Sec. VIII-B),
+so kernel time is governed by how much of the device's bandwidth the
+launch can sustain.  We use a Little's-law queueing model:
+
+    concurrency_bytes = resident_threads * mlp * word_bytes
+    sustained_bw      = B_eff * c / (c + B_eff * L)
+
+where ``B_eff = max_bandwidth_fraction * peak_bandwidth`` (the 79%
+streaming ceiling the paper measures), ``L`` the effective memory
+latency and ``mlp`` the outstanding requests per thread.  The
+hyperbolic form reproduces the shape of Figs. 4/5: bandwidth rising
+with volume, a shoulder where the resident threads start covering the
+latency ("thread saturation" of the SMs), and a plateau at 79% of
+peak.  Because a double-precision word is twice as large, DP reaches
+saturation at roughly half the volume — the paper's observed shoulder
+shift from L≈16 (SP) to L≈12 (DP).
+
+Calibration: ``L = 0.59 µs`` and ``mlp = 4`` put the SP knee (90% of
+plateau) at V = 16⁴ sites for the K20x, matching Fig. 4.
+
+Occupancy: resident threads per SM are limited by the register file,
+the max-resident-thread and max-resident-block limits; this is what
+makes thread-block sizes below 128 lose bandwidth and is the signal
+the auto-tuner optimizes (paper Sec. VII).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .specs import DeviceSpec
+
+
+class LaunchError(Exception):
+    """A kernel launch failed (resource exhaustion / bad configuration).
+
+    The auto-tuner catches this and retries with a halved block size,
+    exactly as described in paper Sec. VII.
+    """
+
+
+def blocks_per_sm(spec: DeviceSpec, block_size: int, regs_per_thread: int) -> int:
+    """Resident blocks per SM for the given launch configuration."""
+    if block_size < 1 or block_size > spec.max_threads_per_block:
+        raise LaunchError(
+            f"invalid block size {block_size} "
+            f"(max {spec.max_threads_per_block})")
+    regs_per_block = regs_per_thread * block_size
+    if regs_per_block > spec.regs_per_sm:
+        raise LaunchError(
+            f"too many resources requested for launch: "
+            f"{regs_per_block} registers per block > {spec.regs_per_sm}")
+    by_regs = spec.regs_per_sm // max(regs_per_block, 1)
+    by_threads = spec.max_threads_per_sm // block_size
+    return max(1, min(spec.max_blocks_per_sm, by_regs, by_threads))
+
+
+def resident_threads(spec: DeviceSpec, block_size: int,
+                     regs_per_thread: int, nthreads: int) -> int:
+    """Threads (equivalents) driving memory-level parallelism.
+
+    Registers are checked for launch viability, but deliberately do
+    NOT reduce the bandwidth-driving concurrency: register-heavy
+    streaming kernels have correspondingly more independent loads in
+    flight per thread (ILP), which compensates the occupancy loss —
+    this is why the paper's five very differently sized kernels
+    produce coinciding bandwidth curves (Sec. VIII-B).  Small thread
+    blocks do reduce concurrency (the resident-block limit), which is
+    the effect the auto-tuner optimizes.
+    """
+    blocks_per_sm(spec, block_size, regs_per_thread)  # launch check
+    per_sm = min(spec.max_blocks_per_sm * block_size,
+                 spec.max_threads_per_sm)
+    return min(nthreads, per_sm * spec.sm_count)
+
+
+def sustained_bandwidth(spec: DeviceSpec, block_size: int,
+                        regs_per_thread: int, nthreads: int,
+                        word_bytes: int) -> float:
+    """Sustained global-memory bandwidth in bytes/second.
+
+    Exponential-saturation form of Little's law:
+    ``B_eff * (1 - exp(-c / (B_eff * L)))`` with concurrency
+    ``c = resident_threads * mlp * word``.  With the Kepler
+    calibration (L = 0.59 us, mlp = 4) this puts the SP knee near
+    V = 16^4 and the DP knee near V = 12^4 and saturates at the 79%
+    streaming ceiling — the shape of the paper's Figs. 4/5.
+    """
+    b_eff = spec.max_bandwidth_fraction * spec.peak_bandwidth
+    res = resident_threads(spec, block_size, regs_per_thread, nthreads)
+    concurrency = res * spec.mlp_requests * word_bytes
+    return b_eff * -math.expm1(-concurrency / (b_eff * spec.mem_latency_s))
+
+
+@dataclass(frozen=True)
+class KernelCost:
+    """Modeled execution cost of one kernel launch."""
+
+    time_s: float
+    bandwidth_bytes_s: float
+    mem_time_s: float
+    flop_time_s: float
+    bytes_moved: int
+    flops: int
+
+    @property
+    def sustained_gbs(self) -> float:
+        """Sustained bandwidth as the paper reports it: total bytes
+        moved divided by total kernel time (includes launch overhead)."""
+        return self.bytes_moved / self.time_s / 1e9 if self.time_s else 0.0
+
+    @property
+    def gflops(self) -> float:
+        return self.flops / self.time_s / 1e9 if self.time_s else 0.0
+
+
+def kernel_cost(spec: DeviceSpec, *, nsites: int, block_size: int,
+                regs_per_thread: int, bytes_per_site: int,
+                flops_per_site: int, precision: str) -> KernelCost:
+    """Modeled cost of launching a streaming kernel over ``nsites``.
+
+    Raises :class:`LaunchError` if the configuration cannot launch.
+    """
+    word = 4 if precision == "f32" else 8
+    if nsites <= 0:
+        return KernelCost(time_s=0.0, bandwidth_bytes_s=0.0, mem_time_s=0.0,
+                          flop_time_s=0.0, bytes_moved=0, flops=0)
+    nthreads = math.ceil(nsites / block_size) * block_size
+    bw = sustained_bandwidth(spec, block_size, regs_per_thread, nthreads, word)
+    bytes_moved = bytes_per_site * nsites
+    flops = flops_per_site * nsites
+    mem_time = bytes_moved / bw
+    peak_flops = spec.peak_flops_sp if precision == "f32" else spec.peak_flops_dp
+    flop_time = flops / peak_flops
+    # memory-bound streaming kernel: compute overlaps with memory; the
+    # longer of the two plus the launch overhead governs.
+    time_s = max(mem_time, flop_time) + spec.launch_overhead_s
+    return KernelCost(time_s=time_s, bandwidth_bytes_s=bw,
+                      mem_time_s=mem_time, flop_time_s=flop_time,
+                      bytes_moved=bytes_moved, flops=flops)
+
+
+def transfer_time(spec: DeviceSpec, nbytes: int) -> float:
+    """Modeled host<->device (PCIe) transfer time."""
+    return spec.pcie_latency_s + nbytes / spec.pcie_bandwidth

@@ -1,0 +1,22 @@
+"""The simulated NVIDIA driver: PTX parser, JIT compiler, kernel cache."""
+
+from .cache import CacheStats, KernelCache
+from .jitcompiler import (
+    CompiledKernel,
+    JITCompileError,
+    compile_ptx,
+    modeled_jit_time,
+)
+from .parser import ParsedKernel, PTXParseError, parse_ptx
+
+__all__ = [
+    "CacheStats",
+    "CompiledKernel",
+    "JITCompileError",
+    "KernelCache",
+    "ParsedKernel",
+    "PTXParseError",
+    "compile_ptx",
+    "modeled_jit_time",
+    "parse_ptx",
+]

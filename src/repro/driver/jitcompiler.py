@@ -1,0 +1,359 @@
+"""The simulated driver JIT: PTX text -> executable kernel.
+
+This plays the role of the NVIDIA compute-compile driver (part of the
+Linux kernel driver) in paper Fig. 2: it accepts PTX assembly text and
+produces executable code.  Here "executable" means a generated Python
+function in which every PTX instruction becomes one NumPy operation
+vectorized over the *thread* axis — the SPMD semantics of the GPU are
+preserved exactly (each array lane is one CUDA thread), so results
+agree with a real device up to floating-point reassociation in ``fma``
+(NumPy does not fuse; see DESIGN.md "Known deviations").
+
+Control flow is compiled with an active-lane mask supporting guarded
+instructions and forward branches — sufficient for the bounds-check /
+face-select patterns the code generators emit, and verified against
+hand-written PTX in the test suite.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..memory.pool import ALIGNMENT
+from ..ptx.isa import Immediate, Instruction, PTXType, Register, Special
+from .parser import ParsedKernel, PTXParseError, parse_ptx
+
+
+class JITCompileError(Exception):
+    """The driver rejected a PTX program."""
+
+
+_NP_DTYPE = {
+    PTXType.F32: "np.float32",
+    PTXType.F64: "np.float64",
+    PTXType.S32: "np.int32",
+    PTXType.S64: "np.int64",
+    PTXType.U32: "np.uint32",
+    PTXType.U64: "np.uint64",
+}
+
+_DTYPE_NAME = {
+    PTXType.F32: "float32",
+    PTXType.F64: "float64",
+    PTXType.S32: "int32",
+    PTXType.S64: "int64",
+    PTXType.U32: "uint32",
+    PTXType.U64: "uint64",
+}
+
+_SHIFT = {4: 2, 8: 3}
+
+_CMP_PY = {"eq": "==", "ne": "!=", "lt": "<", "le": "<=", "gt": ">", "ge": ">="}
+
+_BIN_PY = {
+    "add": "({a} + {b})",
+    "sub": "({a} - {b})",
+    "mul": "({a} * {b})",
+    "mul.lo": "({a} * {b})",
+    "min": "np.minimum({a}, {b})",
+    "max": "np.maximum({a}, {b})",
+    "and": "({a} & {b})",
+    "or": "({a} | {b})",
+    "xor": "({a} ^ {b})",
+    "shl": "({a} << {b})",
+    "shr": "({a} >> {b})",
+}
+
+_UN_PY = {
+    "neg": "(-{a})",
+    "abs": "np.abs({a})",
+    "not": "(~{a})",
+    "sqrt": "np.sqrt({a})",
+    "rsqrt": "(1.0 / np.sqrt({a}))",
+    "rcp": "(1.0 / {a})",
+    "sin": "np.sin({a})",
+    "cos": "np.cos({a})",
+    "ex2": "np.exp2({a})",
+    "lg2": "np.log2({a})",
+    "floor": "np.floor({a})",
+    "ceil": "np.ceil({a})",
+    "trunc": "np.trunc({a})",
+    "round": "np.rint({a})",
+}
+
+
+def _regname(r: Register) -> str:
+    return f"R{r.type.reg_prefix[1:]}{r.index}"
+
+
+# --- runtime helpers (shared by all compiled kernels) ---------------------
+
+def _ld(view, addr, shift, m):
+    """Masked global load: inactive lanes read a safe address."""
+    if m is not None:
+        addr = np.where(m, addr, np.uint64(ALIGNMENT))
+    return view[addr >> shift]
+
+
+def _st(view, addr, shift, val, m):
+    """Masked global store."""
+    idx = addr >> shift
+    if m is None:
+        view[idx] = val
+    else:
+        if np.ndim(val) == 0:
+            view[idx[m]] = val
+        else:
+            view[idx[m]] = val[m]
+
+
+def _mand(m, p):
+    """Combine the active mask with a guard predicate."""
+    if m is None:
+        return p
+    return m & p
+
+
+@dataclass
+class CompiledKernel:
+    """A kernel translated by the driver JIT, ready to launch."""
+
+    name: str
+    func: object
+    parsed: ParsedKernel
+    ptx_text: str
+    python_source: str
+    compile_seconds: float       # measured wall-clock of this translation
+    modeled_compile_seconds: float  # the modeled NVIDIA-driver JIT cost
+    regs_per_thread: int
+
+    def __call__(self, views, params, grid_dim, block_dim):
+        self.func(views, params, grid_dim, block_dim)
+
+
+def modeled_jit_time(n_instructions: int) -> float:
+    """Modeled NVIDIA driver JIT translation time for one kernel.
+
+    The paper (Sec. III-D) reports 0.05-0.22 s per compute kernel on
+    the JLab 12k nodes — and that band covers everything from tiny
+    axpy kernels to multi-thousand-instruction fused operators, so the
+    driver's cost must saturate with kernel size (fixed pass overhead
+    dominates).  We model a 0.05 s floor approaching a 0.22 s ceiling:
+    """
+    return 0.05 + 0.17 * (1.0 - math.exp(-n_instructions / 800.0))
+
+
+def _operand_expr(op, itype: PTXType) -> str:
+    if isinstance(op, Register):
+        return _regname(op)
+    if isinstance(op, Immediate):
+        t = op.type if op.type != PTXType.PRED else itype
+        return f"{_NP_DTYPE[t]}({op.value!r})"
+    if isinstance(op, Special):
+        return {"tid": "_tid", "ntid": "_ntid", "ctaid": "_ctaid"}[op.which]
+    raise JITCompileError(f"bad operand {op!r}")
+
+
+class _Translator:
+    """Translates one parsed kernel into Python source."""
+
+    def __init__(self, parsed: ParsedKernel):
+        self.parsed = parsed
+        self.lines: list[str] = []
+        self.defined: set[str] = set()
+        self.labels = [i.label for i in parsed.instructions
+                       if i.opcode == "label"]
+
+    def emit(self, line: str) -> None:
+        self.lines.append("    " + line)
+
+    def _effective_mask(self, inst: Instruction) -> str:
+        """Emit mask combination for a guarded instruction; returns the
+        variable name holding the effective mask."""
+        if inst.guard is None:
+            return "_m"
+        g = _regname(inst.guard)
+        g = f"(~{g})" if inst.guard_negated else g
+        self.emit(f"_em = _mand(_m, {g})")
+        return "_em"
+
+    def _assign(self, inst: Instruction, expr: str) -> None:
+        """Assign ``expr`` to the destination, honoring the guard."""
+        dst = _regname(inst.dst)
+        if inst.guard is None:
+            self.emit(f"{dst} = {expr}")
+        else:
+            em = self._effective_mask(inst)
+            if dst in self.defined:
+                self.emit(f"{dst} = np.where({em}, {expr}, {dst})")
+            else:
+                self.emit(f"{dst} = {expr}")
+        self.defined.add(dst)
+
+    def translate(self) -> str:
+        p = self.parsed
+        self.lines = [
+            f"def _kernel_{p.name}(_V, _P, _gd, _bd):",
+            "    _nt = _gd * _bd",
+            "    _gl = np.arange(_nt, dtype=np.uint32)",
+            "    _tid = _gl % np.uint32(_bd)",
+            "    _ctaid = _gl // np.uint32(_bd)",
+            "    _ntid = np.uint32(_bd)",
+            "    _m = None",
+        ]
+        for lbl in self.labels:
+            self.emit(f"_pend_{lbl[1:]} = None")
+        for inst in p.instructions:
+            self._translate_inst(inst)
+        self.lines.append(f"    return None")
+        return "\n".join(self.lines) + "\n"
+
+    def _translate_inst(self, inst: Instruction) -> None:
+        op = inst.opcode
+        if op == "label":
+            lbl = inst.label[1:]
+            self.emit(f"if _pend_{lbl} is not None:")
+            self.emit(f"    _m = _pend_{lbl} if _m is None else (_m | _pend_{lbl})")
+            self.emit(f"    _pend_{lbl} = None")
+            self.emit(f"    if _m is not None and _m.all(): _m = None")
+            return
+        if op == "bra":
+            lbl = inst.label[1:]
+            if inst.guard is None:
+                self.emit("_t = np.ones(_nt, bool) if _m is None else _m")
+            else:
+                g = _regname(inst.guard)
+                g = f"(~{g})" if inst.guard_negated else g
+                self.emit(f"_t = {g} if _m is None else (_m & {g})")
+            self.emit(f"_pend_{lbl} = _t if _pend_{lbl} is None "
+                      f"else (_pend_{lbl} | _t)")
+            self.emit("_m = (~_t) if _m is None else (_m & ~_t)")
+            self.emit("if _m.all(): _m = None")
+            return
+        if op == "ret":
+            if inst.guard is None:
+                self.emit("_m = np.zeros(_nt, bool)")
+            else:
+                g = _regname(inst.guard)
+                g = f"(~{g})" if inst.guard_negated else g
+                self.emit(f"_m = (~{g}) if _m is None else (_m & ~{g})")
+            return
+        if op == "ld.param":
+            (pref,) = inst.srcs
+            pname = pref.pname
+            if not any(q.name == pname for q in self.parsed.params):
+                raise JITCompileError(f"ld.param of unknown param {pname!r}")
+            self._assign(inst, f"{_NP_DTYPE[inst.type]}(_P[{pname!r}])")
+            return
+        if op == "ld.global":
+            (addr,) = inst.srcs
+            a = _operand_expr(addr, PTXType.U64)
+            em = "_m" if inst.guard is None else self._effective_mask(inst)
+            sh = _SHIFT[inst.type.nbytes]
+            dst = _regname(inst.dst)
+            self.emit(f"{dst} = _ld(_V[{_DTYPE_NAME[inst.type]!r}], {a}, "
+                      f"{sh}, {em})")
+            self.defined.add(dst)
+            return
+        if op == "st.global":
+            addr, val = inst.srcs
+            a = _operand_expr(addr, PTXType.U64)
+            v = _operand_expr(val, inst.type)
+            em = "_m" if inst.guard is None else self._effective_mask(inst)
+            sh = _SHIFT[inst.type.nbytes]
+            self.emit(f"_st(_V[{_DTYPE_NAME[inst.type]!r}], {a}, {sh}, {v}, {em})")
+            return
+        if op == "mov":
+            (src,) = inst.srcs
+            self._assign(inst, _operand_expr(src, inst.type))
+            return
+        if op == "cvt":
+            (src,) = inst.srcs
+            s = _operand_expr(src, inst.src_type)
+            if inst.type.is_int and inst.src_type.is_float:
+                expr = f"np.trunc({s}).astype({_NP_DTYPE[inst.type]})"
+            else:
+                expr = f"np.asarray({s}).astype({_NP_DTYPE[inst.type]})"
+            self._assign(inst, expr)
+            return
+        if op == "setp":
+            a, b = inst.srcs
+            ea = _operand_expr(a, inst.type)
+            eb = _operand_expr(b, inst.type)
+            self._assign(inst, f"({ea} {_CMP_PY[inst.cmp]} {eb})")
+            return
+        if op == "selp":
+            a, b, pred = inst.srcs
+            ea = _operand_expr(a, inst.type)
+            eb = _operand_expr(b, inst.type)
+            ep = _operand_expr(pred, PTXType.PRED)
+            self._assign(inst, f"np.where({ep}, {ea}, {eb})")
+            return
+        if op in ("fma", "mad.lo"):
+            a, b, c = (_operand_expr(s, inst.type) for s in inst.srcs)
+            self._assign(inst, f"({a} * {b} + {c})")
+            return
+        if op == "div":
+            a, b = (_operand_expr(s, inst.type) for s in inst.srcs)
+            if inst.type.is_float:
+                self._assign(inst, f"({a} / {b})")
+            else:
+                # PTX integer division truncates toward zero.
+                self._assign(
+                    inst,
+                    f"np.trunc(np.asarray({a}, np.float64) / "
+                    f"np.asarray({b}, np.float64)).astype({_NP_DTYPE[inst.type]})")
+            return
+        if op == "rem":
+            a, b = (_operand_expr(s, inst.type) for s in inst.srcs)
+            self._assign(inst, f"np.fmod({a}, {b})")
+            return
+        if op in _BIN_PY:
+            a, b = (_operand_expr(s, inst.type) for s in inst.srcs)
+            self._assign(inst, _BIN_PY[op].format(a=a, b=b))
+            return
+        if op in _UN_PY:
+            (a,) = (_operand_expr(s, inst.type) for s in inst.srcs)
+            self._assign(inst, _UN_PY[op].format(a=a))
+            return
+        raise JITCompileError(f"unsupported opcode {op!r}")
+
+
+def compile_ptx(ptx_text: str) -> CompiledKernel:
+    """JIT-compile a PTX module's text into an executable kernel.
+
+    Raises :class:`JITCompileError` on malformed or unsupported input.
+    """
+    t0 = time.perf_counter()
+    try:
+        parsed = parse_ptx(ptx_text)
+    except PTXParseError as exc:
+        raise JITCompileError(f"parse error: {exc}") from exc
+    tr = _Translator(parsed)
+    source = tr.translate()
+    namespace = {"np": np, "_ld": _ld, "_st": _st, "_mand": _mand}
+    code = compile(source, f"<ptxjit:{parsed.name}>", "exec")
+    exec(code, namespace)
+    func = namespace[f"_kernel_{parsed.name}"]
+    elapsed = time.perf_counter() - t0
+    # The real driver JIT performs register allocation; the SSA-style
+    # .reg declarations wildly overstate pressure.  Use liveness,
+    # capped at the Kepler per-thread hardware maximum of 255 — beyond
+    # that a real compiler spills to local memory rather than failing.
+    from ..ptx.liveness import max_live_registers
+
+    regs = min(max_live_registers(parsed.instructions), 255)
+    return CompiledKernel(
+        name=parsed.name,
+        func=func,
+        parsed=parsed,
+        ptx_text=ptx_text,
+        python_source=source,
+        compile_seconds=elapsed,
+        modeled_compile_seconds=modeled_jit_time(len(parsed.instructions)),
+        regs_per_thread=max(regs, 8),
+    )

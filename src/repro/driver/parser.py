@@ -1,0 +1,238 @@
+"""Parser for the PTX dialect emitted by :mod:`repro.ptx`.
+
+The simulated driver JIT consumes PTX *text*, not the in-memory
+builder objects — the same boundary the NVIDIA compute-compile driver
+sits behind (paper Fig. 2).  This keeps the code-generation and
+execution stages honestly decoupled and lets hand-written PTX run too
+(used in tests).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from ..ptx.isa import Immediate, Instruction, Param, PTXType, Register, Special
+
+
+class PTXParseError(Exception):
+    """Raised on malformed PTX text."""
+
+
+#: Register-name prefix -> PTX type (longest prefixes first).
+_PREFIX_TYPES = [
+    ("%fd", PTXType.F64),
+    ("%f", PTXType.F32),
+    ("%rd", PTXType.S64),
+    ("%ru", PTXType.U64),
+    ("%r", PTXType.S32),
+    ("%u", PTXType.U32),
+    ("%p", PTXType.PRED),
+]
+
+_SPECIALS = {"%tid.x": "tid", "%ntid.x": "ntid", "%ctaid.x": "ctaid"}
+
+_FLOAT_RE = re.compile(r"^[+-]?(\d+\.\d*([eE][+-]?\d+)?|\d+[eE][+-]?\d+|inf|nan)$")
+_INT_RE = re.compile(r"^[+-]?\d+$")
+
+
+@dataclass
+class ParsedKernel:
+    """The result of parsing one PTX module."""
+
+    name: str
+    params: list[Param]
+    instructions: list[Instruction]
+    reg_decls: dict[str, int] = field(default_factory=dict)
+    version: str = ""
+    target: str = ""
+
+
+def _parse_operand(tok: str, itype: PTXType | None) -> object:
+    tok = tok.strip()
+    if tok in _SPECIALS:
+        return Special(_SPECIALS[tok])
+    if tok.startswith("%"):
+        for prefix, t in _PREFIX_TYPES:
+            if tok.startswith(prefix) and tok[len(prefix):].isdigit():
+                return Register(type=t, index=int(tok[len(prefix):]))
+        raise PTXParseError(f"unrecognized register {tok!r}")
+    if _INT_RE.match(tok):
+        return Immediate(type=itype or PTXType.S64, value=int(tok))
+    if _FLOAT_RE.match(tok):
+        return Immediate(type=itype or PTXType.F64, value=float(tok))
+    raise PTXParseError(f"unrecognized operand {tok!r}")
+
+
+class _ParamOperand:
+    """Operand standing for a kernel parameter in ``ld.param``."""
+
+    def __init__(self, pname: str):
+        self.pname = pname
+
+    @property
+    def name(self) -> str:
+        return self.pname
+
+
+def _split_mnemonic(mnem: str):
+    """Split an instruction mnemonic into (opcode, type, cmp, src_type).
+
+    Handles the dialect's shapes, e.g.::
+
+        add.f32 / mul.lo.s32 / mad.lo.s32 / fma.rn.f64 / setp.lt.s32
+        cvt.rn.f32.f64 / cvt.s32.u32 / ld.global.f64 / st.global.f64
+        ld.param.u64 / rsqrt.approx.f32 / sqrt.rn.f64 / selp.f32
+    """
+    parts = mnem.split(".")
+    op = parts[0]
+    typenames = {t.value for t in PTXType}
+    if op in ("ld", "st"):
+        # ld.global.f64 / ld.param.u64 / st.global.f64
+        space, tname = parts[1], parts[2]
+        if tname not in typenames:
+            raise PTXParseError(f"bad type in {mnem!r}")
+        return f"{op}.{space}", PTXType(tname), None, None
+    if op == "cvt":
+        # cvt[.rn|.rzi].dsttype.srctype
+        rest = [p for p in parts[1:] if p not in ("rn", "rni", "rzi", "sat")]
+        if len(rest) != 2:
+            raise PTXParseError(f"bad cvt mnemonic {mnem!r}")
+        return "cvt", PTXType(rest[0]), None, PTXType(rest[1])
+    if op == "setp":
+        # setp.lt.s32
+        cmp, tname = parts[1], parts[2]
+        return "setp", PTXType(tname), cmp, None
+    if op in ("mul", "mad") and len(parts) >= 3 and parts[1] in ("lo", "wide"):
+        return f"{op}.{parts[1]}", PTXType(parts[2]), None, None
+    # generic: opcode[.rn|.approx].type
+    rest = [p for p in parts[1:] if p not in ("rn", "approx", "ftz", "sat")]
+    if len(rest) != 1 or rest[0] not in typenames:
+        raise PTXParseError(f"bad mnemonic {mnem!r}")
+    return op, PTXType(rest[0]), None, None
+
+
+def parse_ptx(text: str) -> ParsedKernel:
+    """Parse a PTX module (our dialect) into a :class:`ParsedKernel`."""
+    lines = [ln.strip() for ln in text.splitlines()]
+    lines = [ln for ln in lines if ln and not ln.startswith("//")]
+    version = target = ""
+    name = None
+    params: list[Param] = []
+    instructions: list[Instruction] = []
+    reg_decls: dict[str, int] = {}
+    i = 0
+    # header
+    while i < len(lines) and lines[i].startswith("."):
+        ln = lines[i]
+        if ln.startswith(".version"):
+            version = ln.split()[1]
+        elif ln.startswith(".target"):
+            target = ln.split()[1]
+        elif ln.startswith(".address_size"):
+            pass
+        elif ln.startswith(".visible"):
+            break
+        i += 1
+    if i >= len(lines) or not lines[i].startswith(".visible .entry"):
+        raise PTXParseError("missing .visible .entry")
+    m = re.match(r"\.visible \.entry (\w+)\(", lines[i])
+    if not m:
+        raise PTXParseError(f"bad entry line: {lines[i]!r}")
+    name = m.group(1)
+    i += 1
+    # parameters until ')'
+    while i < len(lines) and not lines[i].startswith(")"):
+        ln = lines[i].rstrip(",")
+        pm = re.match(
+            r"\.param \.(\w+)(?: \.ptr \.global)? (\w+)$", ln)
+        if not pm:
+            raise PTXParseError(f"bad param line: {ln!r}")
+        tname, pname = pm.group(1), pm.group(2)
+        params.append(Param(name=pname, type=PTXType(tname),
+                            is_pointer=".ptr" in ln))
+        i += 1
+    if i >= len(lines):
+        raise PTXParseError("unterminated parameter list")
+    i += 1  # skip ')'
+    if i < len(lines) and lines[i] == "{":
+        i += 1
+    # body
+    while i < len(lines):
+        ln = lines[i]
+        i += 1
+        if ln == "}":
+            break
+        if ln.startswith(".reg"):
+            rm = re.match(r"\.reg \.(\w+) (%\w+)<(\d+)>;", ln)
+            if not rm:
+                raise PTXParseError(f"bad .reg line: {ln!r}")
+            reg_decls[rm.group(1)] = int(rm.group(3))
+            continue
+        # label?
+        lm = re.match(r"^(\$\w+):$", ln)
+        if lm:
+            instructions.append(Instruction("label", None, None, (),
+                                            label=lm.group(1)))
+            continue
+        # guard?
+        guard = None
+        negated = False
+        gm = re.match(r"^@(!?)(%p\d+)\s+(.*)$", ln)
+        if gm:
+            negated = gm.group(1) == "!"
+            guard = _parse_operand(gm.group(2), None)
+            ln = gm.group(3)
+        if not ln.endswith(";"):
+            raise PTXParseError(f"missing semicolon: {ln!r}")
+        ln = ln[:-1].strip()
+        if ln == "ret":
+            instructions.append(Instruction("ret", None, None, (),
+                                            guard=guard, guard_negated=negated))
+            continue
+        if ln.startswith("bra"):
+            label = ln.split()[1]
+            instructions.append(Instruction("bra", None, None, (), label=label,
+                                            guard=guard, guard_negated=negated))
+            continue
+        # general instruction: MNEM op1, op2, ...
+        sp = ln.split(None, 1)
+        if len(sp) != 2:
+            raise PTXParseError(f"bad instruction: {ln!r}")
+        mnem, opstr = sp
+        opcode, itype, cmp, src_type = _split_mnemonic(mnem)
+        toks = [t.strip() for t in opstr.split(",")]
+        if opcode == "st.global":
+            # st.global.T [addr], val
+            am = re.match(r"^\[(.+)\]$", toks[0])
+            if not am:
+                raise PTXParseError(f"bad store address: {ln!r}")
+            addr = _parse_operand(am.group(1), PTXType.U64)
+            val = _parse_operand(toks[1], itype)
+            instructions.append(Instruction(opcode, itype, None, (addr, val),
+                                            guard=guard, guard_negated=negated))
+            continue
+        # destination first
+        dst = _parse_operand(toks[0], itype)
+        if not isinstance(dst, Register):
+            raise PTXParseError(f"bad destination in {ln!r}")
+        if opcode in ("ld.global", "ld.param"):
+            am = re.match(r"^\[(.+)\]$", toks[1])
+            if not am:
+                raise PTXParseError(f"bad load address: {ln!r}")
+            inner = am.group(1)
+            if opcode == "ld.param":
+                src: object = _ParamOperand(inner)
+            else:
+                src = _parse_operand(inner, PTXType.U64)
+            instructions.append(Instruction(opcode, itype, dst, (src,),
+                                            guard=guard, guard_negated=negated))
+            continue
+        srcs = tuple(_parse_operand(t, itype) for t in toks[1:])
+        instructions.append(Instruction(opcode, itype, dst, srcs, cmp=cmp,
+                                        src_type=src_type,
+                                        guard=guard, guard_negated=negated))
+    if name is None:
+        raise PTXParseError("no kernel found")
+    return ParsedKernel(name=name, params=params, instructions=instructions,
+                        reg_decls=reg_decls, version=version, target=target)

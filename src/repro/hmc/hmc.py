@@ -1,0 +1,132 @@
+"""The Hybrid Monte Carlo driver (the paper's gauge-generation
+application, Sec. VIII-D).
+
+A trajectory: refresh momenta and pseudofermions, measure H, integrate
+the MD equations, measure H again, Metropolis accept/reject on
+exp(-dH), reunitarize.  Everything below the force/action calls runs
+through the QDP-JIT expression pipeline; the driver additionally
+records the operation counts (solver iterations, kernel launches,
+modeled device seconds) that feed the strong-scaling model of
+Figs. 7/8.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..qdp.fields import multi1d
+from ..qcd.su3 import reunitarize, unitarity_defect
+from .forces import gaussian_momenta, kinetic_energy
+from .integrator import MultiTimescaleIntegrator
+from .monomials import Monomial
+
+
+@dataclass
+class TrajectoryResult:
+    """Outcome and accounting of one HMC trajectory."""
+
+    accepted: bool
+    delta_h: float
+    h_old: float
+    h_new: float
+    plaquette: float
+    accept_probability: float
+    solver_iterations: int = 0
+    kernels_launched: int = 0
+    modeled_device_seconds: float = 0.0
+    force_calls: dict = field(default_factory=dict)
+
+
+class HMC:
+    """Hybrid Monte Carlo over a multi-timescale integrator.
+
+    Parameters
+    ----------
+    u:
+        The gauge configuration (updated in place).
+    integrator:
+        The nested MD integrator; its levels own the monomials.
+    rng:
+        Random generator (momenta, heatbaths, Metropolis).
+    """
+
+    def __init__(self, u: multi1d, integrator: MultiTimescaleIntegrator,
+                 rng: np.random.Generator):
+        self.u = u
+        self.integrator = integrator
+        self.rng = rng
+        self.history: list[TrajectoryResult] = []
+
+    @property
+    def monomials(self) -> list[Monomial]:
+        return [m for lev in self.integrator.levels for m in lev.monomials]
+
+    def _total_action(self) -> float:
+        return sum(m.action(self.u) for m in self.monomials)
+
+    def _device_stats(self):
+        ctx = self.u[0].context
+        return (ctx.device.stats.kernel_launches,
+                ctx.device.stats.modeled_kernel_time_s)
+
+    def trajectory(self, tau: float,
+                   always_accept: bool = False) -> TrajectoryResult:
+        """Run one trajectory of MD time ``tau`` (updates ``u``)."""
+        lattice = self.u[0].lattice
+        nd = lattice.nd
+        k0_launch, k0_time = self._device_stats()
+        it0 = sum(getattr(m, "solve_iterations", 0) for m in self.monomials)
+
+        p = gaussian_momenta(self.rng, nd, lattice.nsites)
+        for m in self.monomials:
+            m.refresh(self.u, self.rng)
+        h_old = kinetic_energy(p) + self._total_action()
+
+        saved = [umu.to_numpy().copy() for umu in self.u]
+        self.integrator.stats.calls.clear()
+        self.integrator.run(self.u, p, tau)
+        h_new = kinetic_energy(p) + self._total_action()
+
+        dh = h_new - h_old
+        p_acc = min(1.0, math.exp(-dh)) if dh == dh else 0.0
+        accepted = always_accept or (self.rng.random() < p_acc)
+        if not accepted:
+            for umu, old in zip(self.u, saved):
+                umu.from_numpy(old)
+        else:
+            # keep the links exactly unitary over long runs
+            for umu in self.u:
+                arr = umu.to_numpy()
+                if unitarity_defect(arr) > 1e-12:
+                    umu.from_numpy(reunitarize(arr))
+
+        from ..qcd.gauge import plaquette
+
+        k1_launch, k1_time = self._device_stats()
+        it1 = sum(getattr(m, "solve_iterations", 0) for m in self.monomials)
+        result = TrajectoryResult(
+            accepted=accepted,
+            delta_h=dh,
+            h_old=h_old,
+            h_new=h_new,
+            plaquette=plaquette(self.u, lattice),
+            accept_probability=p_acc,
+            solver_iterations=it1 - it0,
+            kernels_launched=k1_launch - k0_launch,
+            modeled_device_seconds=k1_time - k0_time,
+            force_calls=dict(self.integrator.stats.calls),
+        )
+        self.history.append(result)
+        return result
+
+    def run(self, n_trajectories: int, tau: float) -> list[TrajectoryResult]:
+        return [self.trajectory(tau) for _ in range(n_trajectories)]
+
+    @property
+    def acceptance_rate(self) -> float:
+        if not self.history:
+            return 0.0
+        return sum(r.accepted for r in self.history) / len(self.history)

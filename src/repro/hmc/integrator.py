@@ -1,0 +1,107 @@
+"""Molecular-dynamics integrators: leapfrog, Omelyan, multi-timescale.
+
+The trajectory is integrated with a nested (Sexton-Weingarten) scheme:
+each level carries a group of monomials and a substep count; cheap,
+stiff forces (gauge) sit on the innermost, finest timescale while
+expensive fermion forces are evaluated rarely — the structure Chroma
+uses for the paper's production trajectories.
+
+All schemes are exactly reversible and area preserving up to rounding
+(the test suite integrates forward and backward and checks the fields
+return, and verifies dH -> 0 with the expected dt^2 power).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..qdp.fields import multi1d
+from .forces import update_links
+from .monomials import Monomial
+
+#: The Omelyan/2MN coefficient minimizing the 2nd-order error norm.
+OMELYAN_LAMBDA = 0.1931833275037836
+
+
+@dataclass
+class Level:
+    """One timescale: its monomials, substep count and scheme."""
+
+    monomials: list[Monomial]
+    n_steps: int
+    scheme: str = "leapfrog"      # "leapfrog" | "omelyan"
+
+    def __post_init__(self):
+        if self.n_steps < 1:
+            raise ValueError("n_steps must be >= 1")
+        if self.scheme not in ("leapfrog", "omelyan"):
+            raise ValueError(f"unknown scheme {self.scheme!r}")
+
+
+@dataclass
+class ForceStats:
+    """Per-level force-call accounting (feeds the performance model)."""
+
+    calls: dict = field(default_factory=dict)
+
+    def bump(self, level: int, n: int = 1) -> None:
+        self.calls[level] = self.calls.get(level, 0) + n
+
+
+class MultiTimescaleIntegrator:
+    """Nested leapfrog/Omelyan over a list of levels (outermost first).
+
+    The innermost level's "drift" is the exact link update
+    ``U <- exp(i dt P) U``; every outer level's drift is a full
+    integration of the next level over the substep.
+    """
+
+    def __init__(self, levels: list[Level]):
+        if not levels:
+            raise ValueError("need at least one level")
+        self.levels = levels
+        self.stats = ForceStats()
+
+    # -- building blocks ------------------------------------------------
+
+    def _kick(self, li: int, u: multi1d, p: np.ndarray, dt: float) -> None:
+        total = None
+        for mono in self.levels[li].monomials:
+            f = mono.force(u)
+            total = f if total is None else total + f
+        self.stats.bump(li)
+        if total is not None:
+            p -= dt * total
+
+    def _drift(self, li: int, u: multi1d, p: np.ndarray, dt: float) -> None:
+        if li + 1 < len(self.levels):
+            self._integrate_level(li + 1, u, p, dt)
+        else:
+            update_links(u, p, dt)
+
+    # -- schemes ------------------------------------------------------------
+
+    def _integrate_level(self, li: int, u: multi1d, p: np.ndarray,
+                         tau: float) -> None:
+        lev = self.levels[li]
+        h = tau / lev.n_steps
+        if lev.scheme == "leapfrog":
+            # kick h/2 (drift h kick h)^(n-1) drift h kick h/2, fused
+            self._kick(li, u, p, h / 2)
+            for i in range(lev.n_steps):
+                self._drift(li, u, p, h)
+                self._kick(li, u, p, h if i < lev.n_steps - 1 else h / 2)
+        else:  # omelyan 2MN
+            lam = OMELYAN_LAMBDA
+            for i in range(lev.n_steps):
+                self._kick(li, u, p, lam * h)
+                self._drift(li, u, p, h / 2)
+                self._kick(li, u, p, (1 - 2 * lam) * h)
+                self._drift(li, u, p, h / 2)
+                self._kick(li, u, p, lam * h)
+
+    def run(self, u: multi1d, p: np.ndarray, tau: float) -> None:
+        """Integrate the full trajectory of length tau in place."""
+        self._integrate_level(0, u, p, tau)

@@ -1,0 +1,15 @@
+"""The LLVM backend (paper Sec. XI, Future Work — implemented):
+PTX -> LLVM IR transpilation and a CPU work-item target."""
+
+from .cputarget import CPUKernel, LLVMBackend
+from .transpiler import IRInst, IRModule, TranspileError, Transpiler, transpile
+
+__all__ = [
+    "CPUKernel",
+    "IRInst",
+    "IRModule",
+    "LLVMBackend",
+    "TranspileError",
+    "Transpiler",
+    "transpile",
+]

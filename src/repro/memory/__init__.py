@@ -1,0 +1,24 @@
+"""Device memory: flat pool/allocator and the LRU software cache."""
+
+from .cache import CacheEntry, CacheStats, FieldCache, SpillImpossible
+from .pool import (
+    ALIGNMENT,
+    BASE_ADDRESS,
+    DeviceOutOfMemory,
+    DevicePool,
+    InvalidFree,
+    PoolStats,
+)
+
+__all__ = [
+    "ALIGNMENT",
+    "BASE_ADDRESS",
+    "CacheEntry",
+    "CacheStats",
+    "DeviceOutOfMemory",
+    "DevicePool",
+    "FieldCache",
+    "InvalidFree",
+    "PoolStats",
+    "SpillImpossible",
+]

@@ -1,0 +1,42 @@
+"""The PTX-like virtual ISA (the framework's *secondary language*).
+
+See paper Sec. III: generated kernels are expressed in this
+assembly-like language and handed as text to the driver JIT.
+"""
+
+from .builder import KernelBuilder, PTXBuildError, promote
+from .isa import (
+    BINARY_OPS,
+    CMP_OPS,
+    UNARY_OPS,
+    Immediate,
+    Instruction,
+    KernelInfo,
+    Param,
+    PTXType,
+    Register,
+    Special,
+)
+from .module import PTX_TARGET, PTX_VERSION, PTXModule
+from .verifier import PTXVerificationError, verify
+
+__all__ = [
+    "BINARY_OPS",
+    "CMP_OPS",
+    "UNARY_OPS",
+    "Immediate",
+    "Instruction",
+    "KernelBuilder",
+    "KernelInfo",
+    "Param",
+    "PTXBuildError",
+    "PTXModule",
+    "PTXType",
+    "PTXVerificationError",
+    "PTX_TARGET",
+    "PTX_VERSION",
+    "Register",
+    "Special",
+    "promote",
+    "verify",
+]

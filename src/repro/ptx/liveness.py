@@ -1,0 +1,69 @@
+"""Register liveness analysis.
+
+The builder emits SSA-style code (every value gets a fresh register),
+which wildly overstates the register pressure of the kernel a real
+PTX->SASS compiler would produce.  The driver JIT therefore runs a
+liveness pass and reports the *maximum number of simultaneously live
+registers* (in 32-bit slots) as the kernel's register footprint — this
+is what feeds the SM occupancy model and the launch-failure check that
+the auto-tuner (paper Sec. VII) relies on.
+
+The analysis is a single backward pass, exact for straight-line code;
+guarded instructions and forward branches are handled conservatively
+(a guarded write does not kill the destination, since inactive lanes
+keep the old value).
+"""
+
+from __future__ import annotations
+
+from .isa import Instruction, PTXType, Register
+
+
+def _slots(t: PTXType) -> int:
+    if t == PTXType.PRED:
+        return 1
+    return 2 if t.nbytes == 8 else 1
+
+
+def max_live_registers(instructions: list[Instruction]) -> int:
+    """Maximum 32-bit register slots simultaneously live.
+
+    Returns at least 8 (a floor accounting for the fixed overhead —
+    parameter pointers, special registers — every real kernel carries).
+    """
+    live: set[tuple[str, int]] = set()
+    live_slots = 0
+    max_slots = 0
+
+    def add(r: Register) -> None:
+        nonlocal live_slots, max_slots
+        key = (r.type.value, r.index)
+        if key not in live:
+            live.add(key)
+            live_slots += _slots(r.type)
+            max_slots = max(max_slots, live_slots)
+
+    def kill(r: Register) -> None:
+        nonlocal live_slots
+        key = (r.type.value, r.index)
+        if key in live:
+            live.remove(key)
+            live_slots -= _slots(r.type)
+
+    for inst in reversed(instructions):
+        if inst.opcode in ("label", "bra", "ret"):
+            if inst.guard is not None:
+                add(inst.guard)
+            continue
+        # A write kills the register *before* (in reverse order) the
+        # reads of the same instruction are added — unless guarded.
+        if inst.dst is not None and inst.guard is None:
+            kill(inst.dst)
+        for op in inst.srcs:
+            if isinstance(op, Register):
+                add(op)
+        if inst.guard is not None:
+            add(inst.guard)
+            if inst.dst is not None:
+                add(inst.dst)  # partial write: old value still needed
+    return max(max_slots, 8)

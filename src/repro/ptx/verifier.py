@@ -1,0 +1,131 @@
+"""Static verification of PTX instruction streams.
+
+The driver JIT rejects malformed programs; running the verifier at
+build time catches code-generator bugs early, with errors that point
+at the offending instruction.  Checks: registers are written before
+read, operand types match the instruction type, guards are predicates,
+branch targets exist, and every path ends in ``ret``.
+"""
+
+from __future__ import annotations
+
+from .isa import Immediate, Instruction, PTXType, Register, Special
+from .module import PTXModule
+
+
+class PTXVerificationError(Exception):
+    """A PTX program failed static verification."""
+
+
+def verify(module: PTXModule) -> None:
+    """Verify ``module``; raise :class:`PTXVerificationError` on the
+    first violation, return ``None`` if the program is well-formed."""
+    defined: set[tuple[str, int]] = set()
+    labels = {i.label for i in module.instructions if i.opcode == "label"}
+
+    def check_src(inst: Instruction, op, pos: int) -> None:
+        if isinstance(op, Register):
+            key = (op.type.value, op.index)
+            if key not in defined:
+                raise PTXVerificationError(
+                    f"{module.name}: use of undefined register {op.name} in "
+                    f"'{inst.render()}'")
+        elif isinstance(op, (Immediate, Special)):
+            pass
+        else:
+            # _ParamRef in ld.param
+            if inst.opcode != "ld.param":
+                raise PTXVerificationError(
+                    f"{module.name}: bad operand at position {pos} in "
+                    f"'{inst.render()}'")
+
+    param_names = {p.name for p in module.info.params}
+    saw_ret = False
+    for inst in module.instructions:
+        if inst.guard is not None:
+            if inst.guard.type != PTXType.PRED:
+                raise PTXVerificationError(
+                    f"{module.name}: guard is not a predicate in "
+                    f"'{inst.render()}'")
+            check_src(inst, inst.guard, -1)
+        if inst.opcode == "label":
+            continue
+        if inst.opcode == "bra":
+            if inst.label not in labels:
+                raise PTXVerificationError(
+                    f"{module.name}: branch to undefined label {inst.label}")
+            continue
+        if inst.opcode == "ret":
+            saw_ret = True
+            continue
+        if inst.opcode == "ld.param":
+            (pref,) = inst.srcs
+            if getattr(pref, "pname", None) not in param_names:
+                raise PTXVerificationError(
+                    f"{module.name}: ld.param of undeclared parameter "
+                    f"'{inst.render()}'")
+        else:
+            for i, op in enumerate(inst.srcs):
+                check_src(inst, op, i)
+        # type checks
+        if inst.opcode == "st.global":
+            addr, val = inst.srcs
+            if isinstance(addr, Register) and addr.type != PTXType.U64:
+                raise PTXVerificationError(
+                    f"{module.name}: store address must be u64 in "
+                    f"'{inst.render()}'")
+            if isinstance(val, Register) and val.type != inst.type:
+                raise PTXVerificationError(
+                    f"{module.name}: store value type {val.type.value} != "
+                    f"instruction type {inst.type.value}")
+        elif inst.opcode == "ld.global":
+            (addr,) = inst.srcs
+            if isinstance(addr, Register) and addr.type != PTXType.U64:
+                raise PTXVerificationError(
+                    f"{module.name}: load address must be u64 in "
+                    f"'{inst.render()}'")
+        elif inst.opcode == "cvt":
+            if inst.src_type is None:
+                raise PTXVerificationError(
+                    f"{module.name}: cvt without source type")
+            (src,) = inst.srcs
+            if isinstance(src, Register) and src.type != inst.src_type:
+                raise PTXVerificationError(
+                    f"{module.name}: cvt source register type mismatch in "
+                    f"'{inst.render()}'")
+        elif inst.opcode == "setp":
+            if inst.dst.type != PTXType.PRED:
+                raise PTXVerificationError(
+                    f"{module.name}: setp destination must be a predicate")
+            for op in inst.srcs:
+                if isinstance(op, Register) and op.type != inst.type:
+                    raise PTXVerificationError(
+                        f"{module.name}: setp operand type mismatch in "
+                        f"'{inst.render()}'")
+        elif inst.opcode == "selp":
+            a, b, p = inst.srcs
+            if isinstance(p, Register) and p.type != PTXType.PRED:
+                raise PTXVerificationError(
+                    f"{module.name}: selp selector must be a predicate")
+            for op in (a, b):
+                if isinstance(op, Register) and op.type != inst.type:
+                    raise PTXVerificationError(
+                        f"{module.name}: selp operand type mismatch in "
+                        f"'{inst.render()}'")
+        else:
+            # plain arithmetic: all register operands match inst.type
+            for op in inst.srcs:
+                if isinstance(op, Register) and op.type != inst.type:
+                    raise PTXVerificationError(
+                        f"{module.name}: operand type "
+                        f"{op.type.value} != {inst.type.value} in "
+                        f"'{inst.render()}'")
+        if inst.dst is not None:
+            want = PTXType.PRED if inst.opcode == "setp" else inst.type
+            if inst.dst.type != want:
+                raise PTXVerificationError(
+                    f"{module.name}: destination type mismatch in "
+                    f"'{inst.render()}'")
+            defined.add((inst.dst.type.value, inst.dst.index))
+    if not saw_ret:
+        raise PTXVerificationError(f"{module.name}: kernel does not return")

@@ -1,0 +1,154 @@
+"""The Wilson-clover fermion matrix — the paper's production action
+(V = 40^3 x 256, 2+1 flavors of *anisotropic clover* fermions).
+
+Conventions:
+
+    M = A - kappa * D,       A = 1 + c * sum_{mu<nu} sigma.F
+
+with A the packed clover term of :mod:`repro.qcd.clover` (applied
+through the custom-op kernel) and D the hopping term.  Because
+``sigma_{mu nu}`` commutes with gamma5, A is gamma5-Hermitian along
+with D, so ``gamma5 M gamma5 = M+`` — asserted in the tests.
+
+Even-odd preconditioning uses the clover inverse on the opposite
+checkerboard (Chroma's ``EvenOddPrecCloverOp``):
+
+    M_hat psi_e = A_ee psi_e - kappa^2 D_eo A_oo^{-1} D_oe psi_e
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.expr import ScalarParam
+from ..qdp.fields import LatticeField, latt_fermion, multi1d
+from .clover import CloverTerm
+from .dslash import dslash_expr
+
+
+@dataclass
+class CloverParams:
+    """kappa, the clover coefficient, and optional anisotropy."""
+
+    kappa: float
+    clover_coeff: float
+    anisotropy: float | None = None
+
+    def hop_coeffs(self, nd: int):
+        if self.anisotropy is None:
+            return None
+        c = [1.0] * nd
+        c[nd - 1] = self.anisotropy
+        return c
+
+
+class CloverOperator:
+    """The full-lattice Wilson-clover matrix M = A - kappa D."""
+
+    def __init__(self, u: multi1d, params: CloverParams,
+                 precision: str = "f64"):
+        self.u = u
+        self.params = params
+        self.precision = precision
+        self.lattice = u[0].lattice
+        self.clover = CloverTerm(u, params.clover_coeff, precision)
+        self._coeffs = params.hop_coeffs(self.lattice.nd)
+
+    def new_fermion(self) -> LatticeField:
+        return latt_fermion(self.lattice, self.precision, self.u[0].context)
+
+    def _expr(self, psi, sign: int):
+        kappa = ScalarParam(self.params.kappa, self.precision)
+        return (self.clover.apply_expr(psi)
+                - kappa * dslash_expr(self.u, psi, sign=sign,
+                                      coeffs=self._coeffs,
+                                      precision=self.precision))
+
+    def apply(self, dest: LatticeField, psi) -> None:
+        dest.assign(self._expr(psi, +1))
+
+    def apply_dagger(self, dest: LatticeField, psi) -> None:
+        dest.assign(self._expr(psi, -1))
+
+    def apply_mdagm(self, dest: LatticeField, psi,
+                    tmp: LatticeField | None = None) -> None:
+        tmp = tmp if tmp is not None else self.new_fermion()
+        self.apply(tmp, psi)
+        self.apply_dagger(dest, tmp)
+
+
+class EvenOddCloverOperator:
+    """The even-odd preconditioned Wilson-clover matrix (even subset):
+
+        M_hat = A_ee - kappa^2 D_eo A_oo^{-1} D_oe
+    """
+
+    def __init__(self, u: multi1d, params: CloverParams,
+                 precision: str = "f64"):
+        self.u = u
+        self.params = params
+        self.precision = precision
+        self.lattice = u[0].lattice
+        self.clover = CloverTerm(u, params.clover_coeff, precision)
+        self._coeffs = params.hop_coeffs(self.lattice.nd)
+        self._t1 = latt_fermion(self.lattice, precision, u[0].context)
+        self._t2 = latt_fermion(self.lattice, precision, u[0].context)
+
+    def new_fermion(self) -> LatticeField:
+        return latt_fermion(self.lattice, self.precision, self.u[0].context)
+
+    @property
+    def even(self):
+        return self.lattice.even
+
+    @property
+    def odd(self):
+        return self.lattice.odd
+
+    def _apply_sign(self, dest: LatticeField, psi, sign: int) -> None:
+        k2 = ScalarParam(self.params.kappa ** 2, self.precision)
+        d_oe = dslash_expr(self.u, psi, sign=sign, coeffs=self._coeffs,
+                           precision=self.precision)
+        self._t1.assign(d_oe, subset=self.odd)
+        self.clover.apply_inverse(self._t2, self._t1, subset=self.odd)
+        d_eo = dslash_expr(self.u, self._t2, sign=sign,
+                           coeffs=self._coeffs, precision=self.precision)
+        dest.assign(self.clover.apply_expr(psi) - k2 * d_eo,
+                    subset=self.even)
+
+    def apply(self, dest: LatticeField, psi) -> None:
+        self._apply_sign(dest, psi, +1)
+
+    def apply_dagger(self, dest: LatticeField, psi) -> None:
+        self._apply_sign(dest, psi, -1)
+
+    def apply_mdagm(self, dest: LatticeField, psi,
+                    tmp: LatticeField | None = None) -> None:
+        tmp = tmp if tmp is not None else self.new_fermion()
+        self.apply(tmp, psi)
+        self.apply_dagger(dest, tmp)
+
+    # -- Schur factorization pieces ------------------------------------
+
+    def prepare_source(self, chi: LatticeField) -> LatticeField:
+        """b_e = chi_e + kappa D_eo A_oo^{-1} chi_o."""
+        k = ScalarParam(self.params.kappa, self.precision)
+        out = self.new_fermion()
+        self.clover.apply_inverse(self._t1, chi, subset=self.odd)
+        d = dslash_expr(self.u, self._t1, coeffs=self._coeffs,
+                        precision=self.precision)
+        out.assign(chi + k * d, subset=self.even)
+        out.assign(chi.ref(), subset=self.odd)
+        return out
+
+    def reconstruct(self, psi_e: LatticeField, chi: LatticeField
+                    ) -> LatticeField:
+        """psi_o = A_oo^{-1} (chi_o + kappa D_oe psi_e)."""
+        k = ScalarParam(self.params.kappa, self.precision)
+        out = self.new_fermion()
+        out.assign(psi_e.ref(), subset=self.even)
+        d = dslash_expr(self.u, psi_e, coeffs=self._coeffs,
+                        precision=self.precision)
+        self._t1.assign(chi + k * d, subset=self.odd)
+        self.clover.apply_inverse(out, self._t1, subset=self.odd)
+        return out

@@ -1,0 +1,74 @@
+"""The Wilson Dslash (hopping term), written in the high-level
+operator form — paper Sec. VIII-C:
+
+    H(x,x') = sum_mu (1 - gamma_mu) U_mu(x)       delta_{x+mu, x'}
+            + sum_mu (1 + gamma_mu) U+_mu(x - mu) delta_{x-mu, x'}
+
+As the paper stresses, this implementation is *generated from its
+high-level representation* — no hand-tuning.  The backward hop
+``shift(adj(u)*psi, BACKWARD, mu)`` shifts a non-leaf expression and
+is therefore materialized into a temporary by the evaluator, exactly
+like QDP++ evaluates it.
+
+The standard Wilson Dslash flop count used when quoting GFLOPS
+(paper Fig. 6 and the QUDA comparison) is 1320 flops per site.
+"""
+
+from __future__ import annotations
+
+from ..core.expr import ScalarParam, adj, shift
+from ..qdp.fields import LatticeField, latt_fermion, multi1d
+from ..qdp.lattice import BACKWARD, FORWARD, Subset
+from .gamma import projector_const
+
+#: The community-standard Wilson Dslash flop count per site (4-d),
+#: assuming spin projection: what QUDA and the paper quote GFLOPS in.
+DSLASH_FLOPS_PER_SITE = 1320
+
+
+def dslash_expr(u: multi1d, psi, sign: int = +1, coeffs=None,
+                precision: str = "f64"):
+    """Build the Dslash expression tree.
+
+    ``sign=+1`` gives D, ``sign=-1`` gives the gamma5-conjugate
+    (projectors swapped), i.e. the hopping part of M-dagger.
+    ``coeffs`` optionally scales each direction's hop (anisotropy).
+    """
+    nd = len(u)
+    total = None
+    for mu in range(nd):
+        p_minus = projector_const(mu, +sign, precision)   # 1 -/+ gamma_mu
+        p_plus = projector_const(mu, -sign, precision)    # 1 +/- gamma_mu
+        fwd = p_minus * (u[mu] * shift(psi, FORWARD, mu))
+        bwd = p_plus * shift(adj(u[mu]) * psi, BACKWARD, mu)
+        term = fwd + bwd
+        if coeffs is not None and coeffs[mu] != 1.0:
+            term = ScalarParam(coeffs[mu], precision) * term
+        total = term if total is None else total + term
+    return total
+
+
+class WilsonDslash:
+    """Callable Dslash: ``D(dest, psi, subset)``.
+
+    Holding the gauge field, it evaluates the hopping term into
+    ``dest``, optionally restricted to a checkerboard subset (the
+    even-odd preconditioned operator applies D_eo / D_oe this way:
+    a Dslash evaluated on the even subset reads odd-site spinors).
+    """
+
+    def __init__(self, u: multi1d, coeffs=None, precision: str = "f64"):
+        self.u = u
+        self.coeffs = coeffs
+        self.precision = precision
+        self.lattice = u[0].lattice
+
+    def __call__(self, dest: LatticeField, psi, sign: int = +1,
+                 subset: Subset | None = None):
+        expr = dslash_expr(self.u, psi, sign=sign, coeffs=self.coeffs,
+                           precision=self.precision)
+        return dest.assign(expr, subset=subset)
+
+    def new_fermion(self, context=None) -> LatticeField:
+        return latt_fermion(self.lattice, self.precision,
+                            context or self.u[0].context)

@@ -1,0 +1,115 @@
+"""Gauge observables beyond the plaquette: Wilson loops, the Polyakov
+loop, and the field-theoretic topological charge.
+
+These are analysis-phase quantities (the "capacity computing" side of
+paper Sec. I).  Loop construction composes the expression layer's
+shift/multiply operators — each observable is a little program in the
+data-parallel language.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.expr import adj, real, shift, trace
+from ..core.reduction import sum_sites
+from ..qdp.fields import LatticeField, latt_color_matrix, multi1d
+from ..qdp.lattice import FORWARD
+from .gamma import sigma
+from .gauge import field_strength_numpy
+
+
+def _line(u: multi1d, mu: int, length: int) -> LatticeField:
+    """The Wilson line U_mu(x) U_mu(x+mu) ... (length links).
+
+    Built iteratively: L_{n+1}(x) = L_n(x) * U_mu(x + n*mu), with the
+    shifted link materialized by the evaluator.
+    """
+    lattice = u[0].lattice
+    ctx = u[0].context
+    line = latt_color_matrix(lattice, u[mu].spec.precision, ctx)
+    line.assign(u[mu].ref())
+    hop = latt_color_matrix(lattice, u[mu].spec.precision, ctx)
+    hop.assign(u[mu].ref())
+    for _ in range(1, length):
+        # hop(x) <- U_mu shifted one more step along mu
+        hop.assign(shift(hop, FORWARD, mu))
+        line.assign(line * hop)
+    return line
+
+
+def wilson_loop(u: multi1d, mu: int, nu: int, r: int, t: int) -> float:
+    """<1/3 Re tr W(r x t)> in the (mu, nu) plane.
+
+    W(x) = L_mu(x, r) L_nu(x+r mu, t) L_mu(x+t nu, r)^+ L_nu(x)^+
+    """
+    lattice = u[0].lattice
+    if not (1 <= r < lattice.dims[mu] and 1 <= t < lattice.dims[nu]):
+        raise ValueError("loop extents must fit inside the lattice")
+    lmu = _line(u, mu, r)
+    lnu = _line(u, nu, t)
+    # shift the side lines to the loop's far corners
+    side1 = latt_color_matrix(lattice, u[0].spec.precision, u[0].context)
+    side1.assign(lnu.ref())
+    for _ in range(r):
+        side1.assign(shift(side1, FORWARD, mu))
+    top = latt_color_matrix(lattice, u[0].spec.precision, u[0].context)
+    top.assign(lmu.ref())
+    for _ in range(t):
+        top.assign(shift(top, FORWARD, nu))
+    w = sum_sites(real(trace(lmu * side1 * adj(top) * adj(lnu))))
+    return w.real / (3.0 * lattice.nsites)
+
+
+def polyakov_loop(u: multi1d, mu: int | None = None) -> complex:
+    """<1/3 tr P(x)> with P the ordered product of links winding the
+    lattice in the time direction.
+
+    Exactly gauge invariant (the transformation telescopes around the
+    winding), which the tests assert.
+    """
+    lattice = u[0].lattice
+    if mu is None:
+        mu = lattice.nd - 1
+    line = _line(u, mu, lattice.dims[mu])
+    p = sum_sites(trace(line.ref()))
+    # every site on a time line carries the same loop; average anyway
+    return p / (3.0 * lattice.nsites)
+
+
+def topological_charge(u: multi1d) -> float:
+    """The field-theoretic (clover) topological charge
+
+        Q = 1/(32 pi^2) sum_x eps_{mu nu rho sigma}
+            tr[ F_{mu nu}(x) F_{rho sigma}(x) ]
+
+    using the clover-leaf field strength.  Integer-valued only after
+    smoothing on real configurations; near zero on weak fields (the
+    property the tests check).
+    """
+    lattice = u[0].lattice
+    if lattice.nd != 4:
+        raise ValueError("topological charge needs 4 dimensions")
+    f = {}
+    for mu in range(4):
+        for nu in range(mu + 1, 4):
+            f[(mu, nu)] = field_strength_numpy(u, mu, nu)
+    # eps contractions: Q ~ tr[F01 F23 - F02 F13 + F03 F12] * 8
+    def ttr(a, b):
+        return np.einsum("nab,nba->n", a, b).real
+
+    dens = (ttr(f[(0, 1)], f[(2, 3)])
+            - ttr(f[(0, 2)], f[(1, 3)])
+            + ttr(f[(0, 3)], f[(1, 2)]))
+    return float(dens.sum() * 8.0 / (32.0 * np.pi ** 2))
+
+
+def energy_density(u: multi1d) -> float:
+    """<tr F_{mu nu} F_{mu nu}> / V — the clover action density."""
+    lattice = u[0].lattice
+    total = 0.0
+    for mu in range(lattice.nd):
+        for nu in range(mu + 1, lattice.nd):
+            fmn = field_strength_numpy(u, mu, nu)
+            total += float(np.einsum("nab,nba->", fmn, fmn).real)
+    return total / lattice.nsites

@@ -1,0 +1,31 @@
+"""The QDP++ nested type system — re-export shim.
+
+The implementation lives in :mod:`repro.typesys` (a top-level module)
+so that :mod:`repro.core.expr` can import it without triggering this
+package's ``__init__`` (which itself re-exports the expression
+operators — a cycle otherwise).  The public home of these names is
+here, ``repro.qdp.typesys``, matching the paper's layering.
+"""
+
+from ..typesys import *          # noqa: F401,F403
+from ..typesys import (          # noqa: F401
+    CLOVER_BLOCKS,
+    CLOVER_DIAG,
+    CLOVER_TRI,
+    NC,
+    NS,
+    TypeSpec,
+    clover_diag,
+    clover_triangular,
+    color_matrix,
+    color_vector,
+    complex_field,
+    fermion,
+    propagator,
+    real_field,
+    scalar_complex,
+    scalar_real,
+    spin_matrix,
+    tri_index,
+    tri_unindex,
+)

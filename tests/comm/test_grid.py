@@ -1,0 +1,73 @@
+"""Tests for processor grids and lattice decomposition."""
+
+import numpy as np
+import pytest
+
+from repro.comm.grid import Decomposition, DecompositionError, ProcessorGrid
+
+
+class TestProcessorGrid:
+    def test_size(self):
+        assert ProcessorGrid((2, 1, 1, 2)).size == 4
+
+    def test_coords_roundtrip(self):
+        g = ProcessorGrid((2, 3, 1, 2))
+        for r in range(g.size):
+            assert g.rank_of(g.coords_of(r)) == r
+
+    def test_neighbor_periodic(self):
+        g = ProcessorGrid((1, 1, 1, 4))
+        assert g.neighbor(0, 3, +1) == 1
+        assert g.neighbor(3, 3, +1) == 0
+        assert g.neighbor(0, 3, -1) == 3
+
+    def test_neighbor_inverse(self):
+        g = ProcessorGrid((2, 2, 2, 2))
+        for r in range(g.size):
+            for mu in range(4):
+                assert g.neighbor(g.neighbor(r, mu, +1), mu, -1) == r
+
+    def test_bad_rank(self):
+        with pytest.raises(DecompositionError):
+            ProcessorGrid((2, 2)).coords_of(5)
+
+    def test_bad_dims(self):
+        with pytest.raises(DecompositionError):
+            ProcessorGrid((2, 0))
+
+
+class TestDecomposition:
+    def test_local_dims(self):
+        d = Decomposition((8, 8, 8, 16), ProcessorGrid((1, 1, 2, 4)))
+        assert d.local_dims == (8, 8, 4, 4)
+
+    def test_indivisible_rejected(self):
+        with pytest.raises(DecompositionError):
+            Decomposition((8, 8, 8, 10), ProcessorGrid((1, 1, 1, 4)))
+
+    def test_odd_local_rejected(self):
+        """Local extents must stay even for checkerboarding."""
+        with pytest.raises(DecompositionError):
+            Decomposition((4, 4, 4, 8), ProcessorGrid((1, 1, 1, 8)))
+        with pytest.raises(DecompositionError):
+            Decomposition((6, 4, 4, 4), ProcessorGrid((2, 1, 1, 1)))
+
+    def test_dim_mismatch_rejected(self):
+        with pytest.raises(DecompositionError):
+            Decomposition((8, 8, 8), ProcessorGrid((1, 1, 1, 2)))
+
+    def test_owner_of_covers_lattice(self):
+        d = Decomposition((4, 4, 4, 8), ProcessorGrid((1, 1, 1, 2)))
+        g = d.global_lattice()
+        ranks, lidx = d.owner_of(g.coords)
+        assert set(ranks) == {0, 1}
+        local_n = d.local_lattice().nsites
+        for r in (0, 1):
+            sel = ranks == r
+            assert sel.sum() == local_n
+            assert sorted(lidx[sel]) == list(range(local_n))
+
+    def test_owner_respects_blocks(self):
+        d = Decomposition((4, 4, 4, 8), ProcessorGrid((1, 1, 1, 2)))
+        ranks, _ = d.owner_of(np.array([[0, 0, 0, 0], [0, 0, 0, 7]]))
+        assert list(ranks) == [0, 1]

@@ -1,0 +1,48 @@
+"""Shared fixtures.
+
+Most tests share one default context (kernel caches stay warm, which
+keeps the suite fast); tests that exercise memory pressure, spilling
+or device statistics build private contexts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.context import Context, qdp_init, set_default_context
+from repro.qdp.lattice import Lattice
+
+
+@pytest.fixture(scope="session")
+def ctx() -> Context:
+    """A session-wide default context (shared kernel caches)."""
+    return qdp_init()
+
+
+@pytest.fixture()
+def fresh_ctx():
+    """A private context; restores the previous default afterwards."""
+    from repro.core import context as context_mod
+
+    old = context_mod._default_context
+    c = qdp_init()
+    yield c
+    set_default_context(old)
+
+
+@pytest.fixture(scope="session")
+def lat4(ctx) -> Lattice:
+    """The workhorse 4^4 lattice."""
+    return Lattice((4, 4, 4, 4))
+
+
+@pytest.fixture(scope="session")
+def lat_small(ctx) -> Lattice:
+    """A tiny lattice for expensive flows (HMC trajectories)."""
+    return Lattice((2, 2, 2, 4))
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)

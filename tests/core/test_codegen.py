@@ -1,0 +1,260 @@
+"""Tests for the code generator: semantics vs NumPy references and
+the paper's Table II flop/byte accounting."""
+
+import numpy as np
+import pytest
+
+from repro.core.expr import adj, conj, imag, real, shift, timesI, timesMinusI, trace, transpose
+from repro.qdp.fields import (
+    latt_color_matrix,
+    latt_complex,
+    latt_fermion,
+    latt_propagator,
+    latt_real,
+    latt_spin_matrix,
+)
+
+
+def _dag(m):
+    return m.conj().transpose(0, 2, 1)
+
+
+@pytest.fixture()
+def fields(ctx, lat4, rng):
+    u = latt_color_matrix(lat4)
+    v = latt_color_matrix(lat4)
+    psi = latt_fermion(lat4)
+    phi = latt_fermion(lat4)
+    g = latt_spin_matrix(lat4)
+    h = latt_spin_matrix(lat4)
+    for f in (u, v, psi, phi, g, h):
+        f.gaussian(rng)
+    return u, v, psi, phi, g, h
+
+
+class TestSemantics:
+    """Every operator evaluated through expr -> PTX -> JIT -> launch
+    must agree with direct NumPy evaluation."""
+
+    def test_lcm(self, ctx, lat4, fields):
+        u, v, *_ = fields
+        out = latt_color_matrix(lat4)
+        out.assign(u * v)
+        ref = np.einsum("nab,nbc->nac", u.to_numpy(), v.to_numpy())
+        assert np.allclose(out.to_numpy(), ref, rtol=1e-13)
+
+    def test_upsi(self, ctx, lat4, fields):
+        u, _, psi, *_ = fields
+        out = latt_fermion(lat4)
+        out.assign(u * psi)
+        ref = np.einsum("nab,nsb->nsa", u.to_numpy(), psi.to_numpy())
+        assert np.allclose(out.to_numpy(), ref, rtol=1e-13)
+
+    def test_spmat(self, ctx, lat4, fields):
+        *_, g, h = fields
+        out = latt_spin_matrix(lat4)
+        out.assign(g * h)
+        ref = np.einsum("nab,nbc->nac", g.to_numpy(), h.to_numpy())
+        assert np.allclose(out.to_numpy(), ref, rtol=1e-13)
+
+    def test_matvec(self, ctx, lat4, fields):
+        u, _, psi, phi, *_ = fields
+        out = latt_fermion(lat4)
+        out.assign(u * psi + u * phi)
+        un = u.to_numpy()
+        ref = np.einsum("nab,nsb->nsa", un,
+                        psi.to_numpy() + phi.to_numpy())
+        assert np.allclose(out.to_numpy(), ref, rtol=1e-12)
+
+    def test_spinmatrix_times_fermion(self, ctx, lat4, fields):
+        _, _, psi, _, g, _ = fields
+        out = latt_fermion(lat4)
+        out.assign(g * psi)
+        ref = np.einsum("nst,ntc->nsc", g.to_numpy(), psi.to_numpy())
+        assert np.allclose(out.to_numpy(), ref, rtol=1e-13)
+
+    def test_propagator_product(self, ctx, lat4, rng):
+        p = latt_propagator(lat4)
+        q = latt_propagator(lat4)
+        p.gaussian(rng)
+        q.gaussian(rng)
+        out = latt_propagator(lat4)
+        out.assign(p * q)
+        ref = np.einsum("nstab,ntubc->nsuac", p.to_numpy(), q.to_numpy())
+        assert np.allclose(out.to_numpy(), ref, rtol=1e-12)
+
+    def test_adj(self, ctx, lat4, fields):
+        u, *_ = fields
+        out = latt_color_matrix(lat4)
+        out.assign(adj(u))
+        assert np.array_equal(out.to_numpy(), _dag(u.to_numpy()))
+
+    def test_transpose_no_conj(self, ctx, lat4, fields):
+        u, *_ = fields
+        out = latt_color_matrix(lat4)
+        out.assign(transpose(u))
+        assert np.array_equal(out.to_numpy(),
+                              u.to_numpy().transpose(0, 2, 1))
+
+    def test_conj_no_transpose(self, ctx, lat4, fields):
+        u, *_ = fields
+        out = latt_color_matrix(lat4)
+        out.assign(conj(u))
+        assert np.array_equal(out.to_numpy(), u.to_numpy().conj())
+
+    def test_adj_of_product(self, ctx, lat4, fields):
+        """adj(A*B) = adj(B) adj(A) must hold structurally."""
+        u, v, *_ = fields
+        out = latt_color_matrix(lat4)
+        out.assign(adj(u * v))
+        ref = np.einsum("nab,nbc->nac", _dag(v.to_numpy()),
+                        _dag(u.to_numpy()))
+        assert np.allclose(out.to_numpy(), ref, rtol=1e-13)
+
+    def test_timesI(self, ctx, lat4, fields):
+        _, _, psi, *_ = fields
+        out = latt_fermion(lat4)
+        out.assign(timesI(psi))
+        assert np.array_equal(out.to_numpy(), 1j * psi.to_numpy())
+        out.assign(timesMinusI(psi))
+        assert np.array_equal(out.to_numpy(), -1j * psi.to_numpy())
+
+    def test_neg(self, ctx, lat4, fields):
+        _, _, psi, *_ = fields
+        out = latt_fermion(lat4)
+        out.assign(-psi)
+        assert np.array_equal(out.to_numpy(), -psi.to_numpy())
+
+    def test_real_imag(self, ctx, lat4, fields):
+        _, _, psi, *_ = fields
+        out = latt_real(lat4)
+        # component-shaped: go through a complex scalar field
+        c = latt_complex(lat4)
+        c.gaussian(np.random.default_rng(3))
+        out.assign(real(c))
+        assert np.array_equal(out.to_numpy(), c.to_numpy().real)
+        out.assign(imag(c))
+        assert np.array_equal(out.to_numpy(), c.to_numpy().imag)
+
+    def test_traces(self, ctx, lat4, rng):
+        p = latt_propagator(lat4)
+        p.gaussian(rng)
+        pn = p.to_numpy()
+        outc = latt_spin_matrix(lat4)
+        outc.assign(traceColor_expr(p))
+        ref = np.einsum("nstaa->nst", pn)
+        assert np.allclose(outc.to_numpy(), ref, rtol=1e-13)
+        outs = latt_color_matrix(lat4)
+        from repro.core.expr import traceSpin
+
+        outs.assign(traceSpin(p.ref()))
+        assert np.allclose(outs.to_numpy(), np.einsum("nssab->nab", pn),
+                           rtol=1e-13)
+        outt = latt_complex(lat4)
+        outt.assign(trace(p.ref()))
+        assert np.allclose(outt.to_numpy(), np.einsum("nssaa->n", pn),
+                           rtol=1e-13)
+
+    def test_shift_expression_materialized(self, ctx, lat4, fields):
+        u, _, psi, *_ = fields
+        out = latt_fermion(lat4)
+        out.assign(shift(adj(u) * psi, -1, 1))
+        inner = np.einsum("nba,nsb->nsa", u.to_numpy().conj(),
+                          psi.to_numpy())
+        t = lat4.shift_map(1, -1)
+        assert np.allclose(out.to_numpy(), inner[t], rtol=1e-13)
+
+    def test_shift_of_destination_aliased(self, ctx, lat4, fields):
+        """psi = shift(psi) must read the *old* psi (temp copy)."""
+        _, _, psi, *_ = fields
+        snapshot = psi.to_numpy().copy()
+        psi.assign(shift(psi, +1, 0))
+        t = lat4.shift_map(0, +1)
+        assert np.array_equal(psi.to_numpy(), snapshot[t])
+
+    def test_gamma_projector_folding(self, ctx, lat4, fields):
+        from repro.qcd.gamma import projector, projector_const
+
+        _, _, psi, *_ = fields
+        out = latt_fermion(lat4)
+        out.assign(projector_const(2, +1) * psi)
+        ref = np.einsum("st,ntc->nsc", projector(2, +1), psi.to_numpy())
+        assert np.allclose(out.to_numpy(), ref, rtol=1e-13)
+
+    def test_scalar_param_value_bound_at_launch(self, ctx, lat4, fields):
+        _, _, psi, *_ = fields
+        out = latt_fermion(lat4)
+        kernels_before = ctx.kernel_cache.stats.n_kernels
+        out.assign(0.5 * psi)
+        a = out.to_numpy().copy()
+        out.assign(0.25 * psi)
+        b = out.to_numpy()
+        assert np.allclose(a, 2 * b)
+        # the two launches share one compiled kernel
+        assert ctx.kernel_cache.stats.n_kernels <= kernels_before + 1
+
+    def test_complex_scalar(self, ctx, lat4, fields):
+        _, _, psi, *_ = fields
+        out = latt_fermion(lat4)
+        out.assign((0.3 - 0.7j) * psi)
+        assert np.allclose(out.to_numpy(), (0.3 - 0.7j) * psi.to_numpy(),
+                           rtol=1e-13)
+
+    def test_long_expression(self, ctx, lat4, fields):
+        u, v, psi, phi, *_ = fields
+        out = latt_fermion(lat4)
+        out.assign(u * (v * psi) + 2.0 * phi - timesI(u * phi))
+        un, vn = u.to_numpy(), v.to_numpy()
+        pn, qn = psi.to_numpy(), phi.to_numpy()
+        ref = (np.einsum("nab,nbc,nsc->nsa", un, vn, pn)
+               + 2.0 * qn - 1j * np.einsum("nab,nsb->nsa", un, qn))
+        assert np.allclose(out.to_numpy(), ref, rtol=1e-12)
+
+
+def traceColor_expr(p):
+    from repro.core.expr import traceColor
+
+    return traceColor(p.ref())
+
+
+class TestTableII:
+    """Paper Table II: flop/byte of the five test functions (DP)."""
+
+    @pytest.mark.parametrize("name,expected", [
+        ("lcm", 0.458), ("upsi", 0.5), ("spmat", 0.62),
+        ("matvec", 0.64), ("clover", 0.525),
+    ])
+    def test_arithmetic_intensity(self, name, expected):
+        from repro.perfmodel.kernelperf import generate_test_kernels
+
+        stats = generate_test_kernels("f64")
+        assert stats[name].flop_per_byte == pytest.approx(expected,
+                                                          abs=0.006)
+
+    def test_exact_flop_counts(self):
+        from repro.perfmodel.kernelperf import generate_test_kernels
+
+        stats = generate_test_kernels("f64")
+        assert stats["lcm"].flops_per_site == 198      # 9*(3*6 + 2*2)
+        assert stats["upsi"].flops_per_site == 264     # 4 spins * 66
+        assert stats["spmat"].flops_per_site == 480    # 16*(4*6+3*2)
+        assert stats["matvec"].flops_per_site == 552
+        assert stats["clover"].flops_per_site == 504   # 12*(2+5*8)
+
+    def test_exact_byte_counts(self):
+        from repro.perfmodel.kernelperf import generate_test_kernels
+
+        stats = generate_test_kernels("f64")
+        assert stats["lcm"].bytes_per_site == 432      # 3 * 18 * 8
+        assert stats["upsi"].bytes_per_site == 528     # (18+24+24)*8
+        assert stats["matvec"].bytes_per_site == 864   # U1 counted twice
+        assert stats["clover"].bytes_per_site == 960   # (72+48)*8
+
+    def test_sp_halves_bytes_keeps_flops(self):
+        from repro.perfmodel.kernelperf import generate_test_kernels
+
+        dp = generate_test_kernels("f64")
+        sp = generate_test_kernels("f32")
+        for name in dp:
+            assert sp[name].flops_per_site == dp[name].flops_per_site
+            assert sp[name].bytes_per_site * 2 == dp[name].bytes_per_site

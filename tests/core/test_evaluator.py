@@ -1,0 +1,145 @@
+"""Tests for the evaluator: kernel caching, memory integration,
+subsets, JIT accounting."""
+
+import numpy as np
+import pytest
+
+from repro.core.context import Context
+from repro.core.expr import shift
+from repro.qdp.fields import latt_color_matrix, latt_fermion
+from repro.qdp.lattice import Lattice
+
+
+class TestKernelCaching:
+    def test_structural_reuse(self, rng):
+        """Different fields, same structure: one compiled kernel."""
+        ctx = Context()
+        lat = Lattice((4, 4, 4, 4))
+        n0 = ctx.kernel_cache.stats.n_kernels
+        for _ in range(5):
+            a = latt_fermion(lat, context=ctx)
+            a.gaussian(rng)
+            b = latt_fermion(lat, context=ctx)
+            b.assign(2.0 * a)
+        assert ctx.kernel_cache.stats.n_kernels == n0 + 1
+        # generated once, evaluated five times
+        assert ctx.stats.kernels_generated == 1
+        assert ctx.stats.expressions_evaluated == 5
+
+    def test_volume_parametric_kernels(self, rng):
+        """The same kernel text serves different lattice sizes."""
+        ctx = Context()
+        for dims in ((4, 4, 4, 4), (4, 4, 4, 8), (6, 6, 6, 6)):
+            lat = Lattice(dims)
+            a = latt_fermion(lat, context=ctx)
+            a.gaussian(rng)
+            b = latt_fermion(lat, context=ctx)
+            b.assign(2.0 * a)
+            assert np.allclose(b.to_numpy(), 2.0 * a.to_numpy())
+        assert ctx.kernel_cache.stats.n_kernels == 1
+
+    def test_one_kernel_for_all_shift_directions(self, rng):
+        ctx = Context()
+        lat = Lattice((4, 4, 4, 4))
+        a = latt_fermion(lat, context=ctx)
+        a.gaussian(rng)
+        b = latt_fermion(lat, context=ctx)
+        n0 = ctx.kernel_cache.stats.n_kernels
+        for mu in range(4):
+            for sign in (+1, -1):
+                b.assign(shift(a.ref(), sign, mu))
+                t = lat.shift_map(mu, sign)
+                assert np.array_equal(b.to_numpy(), a.to_numpy()[t])
+        assert ctx.kernel_cache.stats.n_kernels == n0 + 1
+
+    def test_subset_gets_own_kernel(self, rng):
+        ctx = Context()
+        lat = Lattice((4, 4, 4, 4))
+        a = latt_fermion(lat, context=ctx)
+        a.gaussian(rng)
+        b = latt_fermion(lat, context=ctx)
+        b.assign(2.0 * a)
+        n_full = ctx.kernel_cache.stats.n_kernels
+        b.assign(2.0 * a, subset=lat.even)
+        assert ctx.kernel_cache.stats.n_kernels == n_full + 1
+        b.assign(2.0 * a, subset=lat.odd)   # reuses the subset kernel
+        assert ctx.kernel_cache.stats.n_kernels == n_full + 1
+
+    def test_jit_time_charged_once(self, rng):
+        ctx = Context()
+        lat = Lattice((4, 4, 4, 4))
+        a = latt_fermion(lat, context=ctx)
+        a.gaussian(rng)
+        b = latt_fermion(lat, context=ctx)
+        b.assign(3.0 * a)
+        jit_t = ctx.device.stats.modeled_jit_time_s
+        assert 0.05 <= jit_t <= 0.25     # paper's per-kernel band
+        b.assign(4.0 * a)
+        assert ctx.device.stats.modeled_jit_time_s == jit_t
+
+
+class TestSubsetEvaluation:
+    def test_even_odd_partition_complete(self, ctx, lat4, rng):
+        a = latt_fermion(lat4)
+        a.gaussian(rng)
+        b = latt_fermion(lat4)
+        b.assign(2.0 * a, subset=lat4.even)
+        b.assign(3.0 * a, subset=lat4.odd)
+        arr = b.to_numpy()
+        an = a.to_numpy()
+        assert np.allclose(arr[lat4.even.sites], 2 * an[lat4.even.sites])
+        assert np.allclose(arr[lat4.odd.sites], 3 * an[lat4.odd.sites])
+
+    def test_subset_shift_reads_other_parity(self, ctx, lat4, rng):
+        """The D_eo pattern: evaluate on even, sources odd."""
+        a = latt_fermion(lat4)
+        a.gaussian(rng)
+        b = latt_fermion(lat4)
+        b.assign(shift(a.ref(), +1, 3), subset=lat4.even)
+        t = lat4.shift_map(3, +1)
+        arr = b.to_numpy()
+        an = a.to_numpy()
+        e = lat4.even.sites
+        assert np.array_equal(arr[e], an[t[e]])
+        assert np.all(arr[lat4.odd.sites] == 0)
+
+    def test_subset_preserves_other_sites(self, ctx, lat4, rng):
+        a = latt_fermion(lat4)
+        a.gaussian(rng)
+        b = latt_fermion(lat4)
+        b.gaussian(rng)
+        before_odd = b.to_numpy()[lat4.odd.sites].copy()
+        b.assign(2.0 * a, subset=lat4.even)
+        assert np.array_equal(b.to_numpy()[lat4.odd.sites], before_odd)
+
+
+class TestStatsAndAccounting:
+    def test_expression_counter(self, rng):
+        ctx = Context()
+        lat = Lattice((4, 4, 4, 4))
+        a = latt_fermion(lat, context=ctx)
+        a.gaussian(rng)
+        b = latt_fermion(lat, context=ctx)
+        n0 = ctx.stats.expressions_evaluated
+        b.assign(a + a)
+        b.assign(a + a)
+        assert ctx.stats.expressions_evaluated == n0 + 2
+
+    def test_cost_returned(self, ctx, lat4, rng):
+        a = latt_fermion(lat4)
+        a.gaussian(rng)
+        b = latt_fermion(lat4)
+        cost = b.assign(2.0 * a)
+        assert cost.time_s > 0
+        assert cost.bytes_moved == (24 + 24) * 8 * lat4.nsites
+
+    def test_autotuner_drives_block_size(self, rng):
+        ctx = Context(autotune=True)
+        lat = Lattice((8, 8, 8, 8))
+        a = latt_fermion(lat, context=ctx)
+        a.gaussian(rng)
+        b = latt_fermion(lat, context=ctx)
+        for _ in range(10):
+            b.assign(2.0 * a)
+        states = list(ctx.autotuner.states.values())
+        assert states and states[0].launches >= 10

@@ -1,0 +1,55 @@
+"""Tests for scalar-to-lattice broadcast assignments and literals."""
+
+import numpy as np
+import pytest
+
+from repro.core.expr import ExprTypeError, ScalarLit
+from repro.qdp.fields import latt_complex, latt_fermion, latt_real
+
+
+class TestBroadcast:
+    def test_real_constant_fill(self, ctx, lat4):
+        r = latt_real(lat4)
+        r.assign(3.25)
+        assert np.all(r.to_numpy() == 3.25)
+
+    def test_complex_constant_fill(self, ctx, lat4):
+        c = latt_complex(lat4)
+        c.assign(1.5 - 2.5j)
+        assert np.all(c.to_numpy() == 1.5 - 2.5j)
+
+    def test_complex_into_real_rejected(self, ctx, lat4):
+        r = latt_real(lat4)
+        with pytest.raises(ExprTypeError):
+            r.assign(1.0 + 1.0j)
+
+    def test_shaped_mismatch_rejected(self, ctx, lat4):
+        psi = latt_fermion(lat4)
+        with pytest.raises(ExprTypeError):
+            psi.assign(1.0)   # a scalar is not a spin-color vector
+
+    def test_literal_embedded_in_kernel(self, ctx, lat4, rng):
+        """ScalarLit values are structural: two different literals
+        produce two kernels (unlike ScalarParam)."""
+        r = latt_real(lat4)
+        s = latt_real(lat4)
+        s.uniform(rng)
+        n0 = ctx.kernel_cache.stats.n_kernels
+        r.assign(ScalarLit(2.0) * s)
+        r.assign(ScalarLit(3.0) * s)
+        assert ctx.kernel_cache.stats.n_kernels == n0 + 2
+
+    def test_subset_broadcast(self, ctx, lat4):
+        r = latt_real(lat4)
+        r.assign(7.0, subset=lat4.odd)
+        arr = r.to_numpy()
+        assert np.all(arr[lat4.odd.sites] == 7.0)
+        assert np.all(arr[lat4.even.sites] == 0.0)
+
+    def test_scalar_expression_arith(self, ctx, lat4, rng):
+        r = latt_real(lat4)
+        r.uniform(rng)
+        out = latt_real(lat4)
+        out.assign(2.0 * r + 1.0 * r)
+        assert np.allclose(out.to_numpy(), 3.0 * r.to_numpy(),
+                           rtol=1e-14)

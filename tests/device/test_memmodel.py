@@ -1,0 +1,116 @@
+"""Tests for the device bandwidth/occupancy model.
+
+These encode the *paper's* observations directly: the 79% plateau,
+the SP shoulder near 16^4 vs DP near 12^4, block sizes >= 128
+saturating, and launch failure on resource exhaustion.
+"""
+
+import pytest
+
+from repro.device import (
+    K20X_ECC_OFF,
+    LaunchError,
+    blocks_per_sm,
+    kernel_cost,
+    resident_threads,
+    sustained_bandwidth,
+)
+
+
+class TestOccupancy:
+    def test_max_block_size_enforced(self):
+        with pytest.raises(LaunchError):
+            blocks_per_sm(K20X_ECC_OFF, 2048, 32)
+        with pytest.raises(LaunchError):
+            blocks_per_sm(K20X_ECC_OFF, 0, 32)
+
+    def test_register_exhaustion_fails_launch(self):
+        """Paper Sec. VII: 'some kernels may even exhaust resources
+        and fail to launch altogether'."""
+        # 255 regs * 1024 threads = 261k > 64k register file
+        with pytest.raises(LaunchError, match="too many resources"):
+            blocks_per_sm(K20X_ECC_OFF, 1024, 255)
+        # halving (the autotune strategy) eventually succeeds
+        assert blocks_per_sm(K20X_ECC_OFF, 256, 255) >= 1
+
+    def test_resident_thread_cap(self):
+        r = resident_threads(K20X_ECC_OFF, 128, 32, 10**9)
+        assert r == K20X_ECC_OFF.sm_count * K20X_ECC_OFF.max_threads_per_sm
+
+    def test_small_volume_limits_residency(self):
+        assert resident_threads(K20X_ECC_OFF, 128, 32, 4096) == 4096
+
+    def test_small_blocks_reduce_residency(self):
+        r32 = resident_threads(K20X_ECC_OFF, 32, 32, 10**9)
+        r128 = resident_threads(K20X_ECC_OFF, 128, 32, 10**9)
+        assert r32 < r128
+
+
+class TestBandwidthCurve:
+    def test_plateau_fraction(self):
+        """Largest volumes sustain ~79% of peak (paper Sec. VIII-B)."""
+        bw = sustained_bandwidth(K20X_ECC_OFF, 128, 64, 28 ** 4, 8)
+        frac = bw / K20X_ECC_OFF.peak_bandwidth
+        assert 0.74 <= frac <= 0.79
+
+    def test_monotone_in_volume(self):
+        prev = 0.0
+        for l in range(2, 30, 2):
+            bw = sustained_bandwidth(K20X_ECC_OFF, 128, 64, l ** 4, 4)
+            assert bw >= prev
+            prev = bw
+
+    def test_sp_shoulder_near_16(self):
+        """SP reaches ~90% of its plateau around V = 16^4."""
+        plateau = sustained_bandwidth(K20X_ECC_OFF, 128, 64, 28 ** 4, 4)
+        at16 = sustained_bandwidth(K20X_ECC_OFF, 128, 64, 16 ** 4, 4)
+        at8 = sustained_bandwidth(K20X_ECC_OFF, 128, 64, 8 ** 4, 4)
+        assert at16 >= 0.85 * plateau
+        assert at8 <= 0.55 * plateau
+
+    def test_dp_saturates_earlier_than_sp(self):
+        """Paper: shoulder at 16^4 (SP) vs 12^4 (DP) — wider words
+        reach memory-level-parallelism saturation at smaller V."""
+        v = 12 ** 4
+        sp = sustained_bandwidth(K20X_ECC_OFF, 128, 64, v, 4)
+        dp = sustained_bandwidth(K20X_ECC_OFF, 128, 64, v, 8)
+        plateau = sustained_bandwidth(K20X_ECC_OFF, 128, 64, 28 ** 4, 8)
+        assert dp > sp
+        assert dp >= 0.85 * plateau
+
+    def test_block_128_saturates(self):
+        """Paper Sec. VII: blocks >= 128 achieve the highest rate."""
+        v = 24 ** 4
+        b128 = sustained_bandwidth(K20X_ECC_OFF, 128, 32, v, 4)
+        b256 = sustained_bandwidth(K20X_ECC_OFF, 256, 32, v, 4)
+        b32 = sustained_bandwidth(K20X_ECC_OFF, 32, 32, v, 4)
+        assert b256 <= b128 * 1.01
+        assert b32 < 0.9 * b128
+
+
+class TestKernelCost:
+    def test_memory_bound_time(self):
+        c = kernel_cost(K20X_ECC_OFF, nsites=16 ** 4, block_size=128,
+                        regs_per_thread=64, bytes_per_site=432,
+                        flops_per_site=198, precision="f64")
+        assert c.mem_time_s > c.flop_time_s
+        assert c.time_s >= c.mem_time_s
+
+    def test_sustained_gbs_includes_overhead(self):
+        c = kernel_cost(K20X_ECC_OFF, nsites=4 ** 4, block_size=128,
+                        regs_per_thread=64, bytes_per_site=432,
+                        flops_per_site=198, precision="f64")
+        assert c.sustained_gbs < c.bandwidth_bytes_s / 1e9
+
+    def test_zero_sites(self):
+        c = kernel_cost(K20X_ECC_OFF, nsites=0, block_size=128,
+                        regs_per_thread=64, bytes_per_site=432,
+                        flops_per_site=198, precision="f64")
+        assert c.time_s == 0.0 and c.gflops == 0.0
+
+    def test_gflops_consistency(self):
+        c = kernel_cost(K20X_ECC_OFF, nsites=16 ** 4, block_size=128,
+                        regs_per_thread=64, bytes_per_site=1000,
+                        flops_per_site=500, precision="f32")
+        assert c.gflops == pytest.approx(
+            500 * 16 ** 4 / c.time_s / 1e9)

@@ -1,0 +1,202 @@
+"""Tests for the driver JIT: semantics of compiled PTX.
+
+These run hand-written PTX through the full compile-and-execute path
+against a raw device pool — independent of the expression layer."""
+
+import numpy as np
+import pytest
+
+from repro.driver import JITCompileError, KernelCache, compile_ptx, modeled_jit_time
+from repro.memory.pool import DevicePool
+
+
+def _views(pool):
+    return {n: pool.view(n) for n in
+            ("float32", "float64", "int32", "int64", "uint32", "uint64")}
+
+
+def _wrap(body, params, name="k", regs=None):
+    regs = regs or {"s32": 8, "u32": 8, "s64": 8, "u64": 8,
+                    "f32": 8, "f64": 8, "pred": 4}
+    plines = ",\n".join(f"    .param .{t}{' .ptr .global' if ptr else ''} {n}"
+                        for n, t, ptr in params)
+    rlines = "\n".join(
+        f"    .reg .{t} %{p}<{c}>;" for t, p, c in
+        (("s32", "r", regs["s32"]), ("u32", "u", regs["u32"]),
+         ("s64", "rd", regs["s64"]), ("u64", "ru", regs["u64"]),
+         ("f32", "f", regs["f32"]), ("f64", "fd", regs["f64"]),
+         ("pred", "p", regs["pred"])))
+    return (f".version 3.1\n.target sm_35\n.address_size 64\n\n"
+            f".visible .entry {name}(\n{plines}\n)\n{{\n{rlines}\n\n"
+            f"{body}\n}}\n")
+
+
+class TestArithmeticSemantics:
+    def test_guarded_tail_not_stored(self):
+        """Threads beyond p_n must not write."""
+        body = """
+    ld.param.s32 %r0, [p_n];
+    ld.param.u64 %ru0, [p_x];
+    mov.u32 %u0, %ctaid.x;
+    mov.u32 %u1, %ntid.x;
+    mov.u32 %u2, %tid.x;
+    mad.lo.u32 %u3, %u0, %u1, %u2;
+    cvt.s32.u32 %r1, %u3;
+    setp.ge.s32 %p0, %r1, %r0;
+    @%p0 bra $OUT;
+    cvt.s64.s32 %rd0, %r1;
+    mul.lo.s64 %rd1, %rd0, 8;
+    cvt.u64.s64 %ru1, %rd1;
+    add.u64 %ru2, %ru0, %ru1;
+    mov.f64 %fd0, 7.0;
+    st.global.f64 [%ru2], %fd0;
+$OUT:
+    ret;
+"""
+        text = _wrap(body, [("p_n", "s32", False), ("p_x", "u64", True)])
+        k = compile_ptx(text)
+        pool = DevicePool(1 << 20)
+        n = 100
+        addr = pool.allocate((n + 64) * 8)
+        pool.write(addr, np.zeros(n + 64))
+        k(_views(pool), {"p_n": n, "p_x": addr}, grid_dim=2, block_dim=64)
+        out = pool.read(addr, (n + 64) * 8, np.float64)
+        assert np.all(out[:n] == 7.0)
+        assert np.all(out[n:] == 0.0), "out-of-bounds threads stored!"
+
+    def test_selp(self):
+        body = """
+    ld.param.u64 %ru0, [p_x];
+    mov.u32 %u2, %tid.x;
+    cvt.s32.u32 %r0, %u2;
+    setp.lt.s32 %p0, %r0, 4;
+    mov.f32 %f0, 1.5;
+    mov.f32 %f1, -2.5;
+    selp.f32 %f2, %f0, %f1, %p0;
+    cvt.s64.s32 %rd0, %r0;
+    mul.lo.s64 %rd1, %rd0, 4;
+    cvt.u64.s64 %ru1, %rd1;
+    add.u64 %ru2, %ru0, %ru1;
+    st.global.f32 [%ru2], %f2;
+    ret;
+"""
+        text = _wrap(body, [("p_x", "u64", True)])
+        k = compile_ptx(text)
+        pool = DevicePool(1 << 16)
+        addr = pool.allocate(8 * 4)
+        k(_views(pool), {"p_x": addr}, grid_dim=1, block_dim=8)
+        out = pool.read(addr, 8 * 4, np.float32)
+        assert np.allclose(out, [1.5] * 4 + [-2.5] * 4)
+
+    @pytest.mark.parametrize("op,expect", [
+        ("add.f64 %fd2, %fd0, %fd1;", 5.5),
+        ("sub.f64 %fd2, %fd0, %fd1;", 0.5),
+        ("mul.f64 %fd2, %fd0, %fd1;", 7.5),
+        ("div.rn.f64 %fd2, %fd0, %fd1;", 1.2),
+        ("min.f64 %fd2, %fd0, %fd1;", 2.5),
+        ("max.f64 %fd2, %fd0, %fd1;", 3.0),
+    ])
+    def test_binary_ops(self, op, expect):
+        body = f"""
+    ld.param.u64 %ru0, [p_x];
+    mov.f64 %fd0, 3.0;
+    mov.f64 %fd1, 2.5;
+    {op}
+    st.global.f64 [%ru0], %fd2;
+    ret;
+"""
+        text = _wrap(body, [("p_x", "u64", True)])
+        k = compile_ptx(text)
+        pool = DevicePool(1 << 16)
+        addr = pool.allocate(8)
+        k(_views(pool), {"p_x": addr}, grid_dim=1, block_dim=1)
+        assert pool.read(addr, 8, np.float64)[0] == pytest.approx(expect)
+
+    @pytest.mark.parametrize("op,expect", [
+        ("sqrt.rn.f64 %fd1, %fd0;", 1.5),
+        ("rsqrt.approx.f64 %fd1, %fd0;", 1 / 1.5),
+        ("rcp.rn.f64 %fd1, %fd0;", 1 / 2.25),
+        ("neg.f64 %fd1, %fd0;", -2.25),
+        ("abs.f64 %fd1, %fd0;", 2.25),
+    ])
+    def test_unary_ops(self, op, expect):
+        body = f"""
+    ld.param.u64 %ru0, [p_x];
+    mov.f64 %fd0, 2.25;
+    {op}
+    st.global.f64 [%ru0], %fd1;
+    ret;
+"""
+        text = _wrap(body, [("p_x", "u64", True)])
+        k = compile_ptx(text)
+        pool = DevicePool(1 << 16)
+        addr = pool.allocate(8)
+        k(_views(pool), {"p_x": addr}, grid_dim=1, block_dim=1)
+        assert pool.read(addr, 8, np.float64)[0] == pytest.approx(expect)
+
+    def test_cvt_truncates_toward_zero(self):
+        body = """
+    ld.param.u64 %ru0, [p_x];
+    mov.f64 %fd0, -2.7;
+    cvt.rzi.s32.f64 %r0, %fd0;
+    cvt.f64.s32 %fd1, %r0;
+    st.global.f64 [%ru0], %fd1;
+    ret;
+"""
+        text = _wrap(body, [("p_x", "u64", True)])
+        k = compile_ptx(text)
+        pool = DevicePool(1 << 16)
+        addr = pool.allocate(8)
+        k(_views(pool), {"p_x": addr}, grid_dim=1, block_dim=1)
+        assert pool.read(addr, 8, np.float64)[0] == -2.0
+
+    def test_unsupported_opcode_rejected(self):
+        body = """
+    ld.param.u64 %ru0, [p_x];
+    ret;
+"""
+        text = _wrap(body, [("p_x", "u64", True)]).replace(
+            "ld.param.u64 %ru0, [p_x];", "vote.ballot.b32 %r0, %p0;")
+        with pytest.raises(JITCompileError):
+            compile_ptx(text)
+
+    def test_register_count_from_liveness(self):
+        body = """
+    ld.param.u64 %ru0, [p_x];
+    ld.global.f64 %fd0, [%ru0];
+    st.global.f64 [%ru0], %fd0;
+    ret;
+"""
+        text = _wrap(body, [("p_x", "u64", True)])
+        k = compile_ptx(text)
+        assert 8 <= k.regs_per_thread <= 255
+
+
+class TestKernelCache:
+    def test_cache_hit(self):
+        body = """
+    ld.param.u64 %ru0, [p_x];
+    ret;
+"""
+        text = _wrap(body, [("p_x", "u64", True)], name="cached")
+        cache = KernelCache()
+        k1, was1 = cache.get_or_compile(text)
+        k2, was2 = cache.get_or_compile(text)
+        assert not was1 and was2
+        assert k1 is k2
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+
+    def test_distinct_text_distinct_kernels(self):
+        a = _wrap("    ld.param.u64 %ru0, [p_x];\n    ret;",
+                  [("p_x", "u64", True)], name="ka")
+        b = a.replace("ka", "kb")
+        cache = KernelCache()
+        cache.get_or_compile(a)
+        cache.get_or_compile(b)
+        assert len(cache) == 2
+
+    def test_modeled_jit_time_in_paper_band(self):
+        """Paper Sec. III-D: 0.05 - 0.22 s per compute kernel."""
+        for n_instructions in (20, 100, 300, 500):
+            t = modeled_jit_time(n_instructions)
+            assert 0.05 <= t <= 0.25

@@ -1,0 +1,153 @@
+"""Finite-difference validation of every MD force.
+
+The defining identity (see repro.hmc.forces):
+
+    d S(exp(i t Q) U) / dt |_{t=0} = 2 tr(Q F)
+
+for a random algebra direction Q at a random link.  These tests pin
+the sign and normalization of each monomial's force — the property
+without which HMC silently fails to conserve energy.
+"""
+
+import numpy as np
+import pytest
+
+from repro.hmc.forces import (
+    gaussian_momenta,
+    hermitian_traceless,
+    kinetic_energy,
+    update_links,
+    wilson_gauge_action,
+    wilson_gauge_force,
+)
+from repro.hmc.monomials import (
+    GaugeMonomial,
+    HasenbuschRatioMonomial,
+    OneFlavorRationalMonomial,
+    TwoFlavorWilsonMonomial,
+)
+from repro.hmc.rational import fourth_root, inv_sqrt
+from repro.qcd import su3
+from repro.qcd.gauge import weak_gauge
+from repro.qcd.su3 import expm_i_hermitian
+from repro.qcd.wilson import WilsonParams
+
+
+def _fd_check(u, mono, rng, mu=1, site=77, eps=1e-5, tol=2e-4):
+    force = mono.force(u)
+    q = su3.random_hermitian_traceless(rng, 1)[0]
+    u0 = u[mu].to_numpy().copy()
+
+    def action_at(t):
+        up = u0.copy()
+        up[site] = expm_i_hermitian((t * q)[None])[0] @ u0[site]
+        u[mu].from_numpy(up)
+        s = mono.action(u)
+        u[mu].from_numpy(u0)
+        return s
+
+    fd = (action_at(eps) - action_at(-eps)) / (2 * eps)
+    pred = 2 * np.trace(q @ force[mu][site]).real
+    assert fd == pytest.approx(pred, rel=tol, abs=1e-9)
+
+
+@pytest.fixture()
+def gauge(ctx, lat4, rng):
+    return weak_gauge(lat4, rng, eps=0.4)
+
+
+class TestGaugeForce:
+    def test_finite_difference(self, ctx, lat4, gauge, rng):
+        _fd_check(gauge, GaugeMonomial(beta=5.5), rng)
+
+    def test_traceless_hermitian(self, ctx, lat4, gauge):
+        f = wilson_gauge_force(gauge, 5.5)
+        assert np.abs(np.einsum("mnii->mn", f)).max() < 1e-12
+        assert np.allclose(f, np.conj(np.swapaxes(f, -1, -2)))
+
+    def test_zero_on_unit_gauge(self, ctx, lat4):
+        from repro.qcd.gauge import unit_gauge
+
+        f = wilson_gauge_force(unit_gauge(lat4), 5.5)
+        assert np.abs(f).max() < 1e-13
+
+    def test_action_nonnegative(self, ctx, lat4, gauge):
+        assert wilson_gauge_action(gauge, 5.5) > 0.0
+        from repro.qcd.gauge import unit_gauge
+
+        assert abs(wilson_gauge_action(unit_gauge(lat4), 5.5)) < 1e-9
+
+
+class TestFermionForces:
+    def test_two_flavor(self, ctx, lat4, gauge, rng):
+        mono = TwoFlavorWilsonMonomial(WilsonParams(kappa=0.11), tol=1e-12)
+        mono.refresh(gauge, rng)
+        _fd_check(gauge, mono, rng)
+
+    def test_two_flavor_anisotropic(self, ctx, lat4, gauge, rng):
+        mono = TwoFlavorWilsonMonomial(
+            WilsonParams(kappa=0.10, anisotropy=1.8), tol=1e-12)
+        mono.refresh(gauge, rng)
+        _fd_check(gauge, mono, rng, mu=3)
+
+    def test_hasenbusch_ratio(self, ctx, lat4, gauge, rng):
+        mono = HasenbuschRatioMonomial(WilsonParams(kappa=0.115),
+                                       WilsonParams(kappa=0.10),
+                                       tol=1e-12)
+        mono.refresh(gauge, rng)
+        _fd_check(gauge, mono, rng)
+
+    def test_one_flavor_rational(self, ctx, lat4, gauge, rng):
+        pf_a = inv_sqrt(0.05, 6.0, degree=12)
+        pf_h = fourth_root(0.05, 6.0, degree=12)
+        mono = OneFlavorRationalMonomial(WilsonParams(kappa=0.09),
+                                         pf_a, pf_h, tol=1e-12)
+        mono.refresh(gauge, rng)
+        _fd_check(gauge, mono, rng)
+
+    def test_heatbath_action_distribution(self, ctx, lat4, gauge, rng):
+        """After phi = M+ eta, the action equals |eta|^2, so over
+        refreshes <S> = 12 V (one unit per real dof pair)."""
+        mono = TwoFlavorWilsonMonomial(WilsonParams(kappa=0.10), tol=1e-10)
+        vals = []
+        for _ in range(4):
+            mono.refresh(gauge, rng)
+            vals.append(mono.action(gauge))
+        mean = np.mean(vals) / (12 * lat4.nsites)
+        assert 0.8 < mean < 1.2
+
+    def test_force_traceless_hermitian(self, ctx, lat4, gauge, rng):
+        mono = TwoFlavorWilsonMonomial(WilsonParams(kappa=0.11), tol=1e-10)
+        mono.refresh(gauge, rng)
+        f = mono.force(gauge)
+        assert np.abs(np.einsum("mnii->mn", f)).max() < 1e-10
+        assert np.allclose(f, np.conj(np.swapaxes(f, -1, -2)), atol=1e-12)
+
+
+class TestMDBuildingBlocks:
+    def test_kinetic_energy_expectation(self, rng):
+        p = gaussian_momenta(rng, 4, 2000)
+        assert kinetic_energy(p) / (4 * 2000) == pytest.approx(4.0,
+                                                               rel=0.05)
+
+    def test_update_links_unitary(self, ctx, lat4, gauge, rng):
+        p = gaussian_momenta(rng, 4, lat4.nsites)
+        update_links(gauge, p, 0.1)
+        for umu in gauge:
+            assert su3.unitarity_defect(umu.to_numpy()) < 1e-12
+
+    def test_update_links_reversible(self, ctx, lat4, gauge, rng):
+        snap = [umu.to_numpy().copy() for umu in gauge]
+        p = gaussian_momenta(rng, 4, lat4.nsites)
+        update_links(gauge, p, 0.17)
+        update_links(gauge, p, -0.17)
+        for umu, s in zip(gauge, snap):
+            assert np.abs(umu.to_numpy() - s).max() < 1e-12
+
+    def test_hermitian_traceless_projection(self, rng):
+        m = rng.normal(size=(10, 3, 3)) + 1j * rng.normal(size=(10, 3, 3))
+        h = hermitian_traceless(m)
+        assert np.allclose(h, np.conj(np.swapaxes(h, -1, -2)))
+        assert np.abs(np.einsum("nii->n", h)).max() < 1e-13
+        # projection is idempotent
+        assert np.allclose(hermitian_traceless(h), h)

@@ -1,0 +1,72 @@
+"""Tests for the rational approximation machinery (RHMC, ref. [14])."""
+
+import numpy as np
+import pytest
+
+from repro.hmc.rational import (
+    PartialFraction,
+    RationalError,
+    fourth_root,
+    inv_sqrt,
+    rational_inverse_power,
+)
+
+
+class TestInvSqrt:
+    def test_accuracy(self):
+        pf = inv_sqrt(1e-3, 10.0, degree=14)
+        assert pf.max_rel_error < 1e-7
+        xs = np.geomspace(1e-3, 10.0, 500)
+        assert np.abs(pf(xs) - xs ** -0.5).max() < 1e-6
+
+    def test_shifts_positive(self):
+        """Multi-shift CG requires sigma_i > 0."""
+        pf = inv_sqrt(1e-3, 10.0, degree=14)
+        assert all(s > 0 for s in pf.shifts)
+
+    def test_residues_positive(self):
+        """x^{-1/2} is a Stieltjes function: all residues positive."""
+        pf = inv_sqrt(1e-3, 10.0, degree=14)
+        assert all(a > 0 for a in pf.residues)
+        assert pf.a0 > 0
+
+    def test_degree_improves_accuracy(self):
+        e8 = inv_sqrt(1e-2, 10.0, degree=8).max_rel_error
+        e14 = inv_sqrt(1e-2, 10.0, degree=14).max_rel_error
+        assert e14 < e8
+
+    def test_wider_interval_is_harder(self):
+        narrow = inv_sqrt(0.1, 10.0, degree=8).max_rel_error
+        wide = inv_sqrt(1e-4, 10.0, degree=8).max_rel_error
+        assert wide > narrow
+
+
+class TestFourthRoot:
+    def test_accuracy(self):
+        pf = fourth_root(1e-3, 10.0, degree=14)
+        xs = np.geomspace(1e-3, 10.0, 500)
+        rel = np.abs(pf(xs) - xs ** 0.25) / xs ** 0.25
+        assert rel.max() < 1e-6
+
+    def test_composition_is_inverse_sqrt(self):
+        """r4(x)^2 * r_invsqrt(x) ~ x^{1/2} * x^{-1/2} = 1 — heatbath
+        and action approximations must be mutually consistent."""
+        pf_a = inv_sqrt(1e-2, 5.0, degree=14)
+        pf_h = fourth_root(1e-2, 5.0, degree=14)
+        xs = np.geomspace(1e-2, 5.0, 200)
+        prod = pf_h(xs) ** 2 * pf_a(xs)
+        assert np.abs(prod - 1.0).max() < 1e-6
+
+
+class TestValidation:
+    def test_bad_interval(self):
+        with pytest.raises(ValueError):
+            rational_inverse_power(0.5, -1.0, 2.0)
+        with pytest.raises(ValueError):
+            rational_inverse_power(0.5, 2.0, 1.0)
+
+    def test_callable_form(self):
+        pf = PartialFraction(a0=1.0, residues=(2.0,), shifts=(1.0,),
+                             lo=0.1, hi=1.0, max_rel_error=0.0)
+        assert pf(1.0) == pytest.approx(1.0 + 2.0 / 2.0)
+        assert pf.degree == 1

@@ -1,0 +1,32 @@
+"""Smoke tests: the fast example scripts must run end to end.
+
+(The HMC and solver examples are exercised by their own integration
+tests; running them as subprocesses here would double the suite's
+runtime for no extra coverage.)
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+
+def _run(name: str, timeout: int = 240) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True, text=True, timeout=timeout)
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    return proc.stdout
+
+
+@pytest.mark.parametrize("script,expect", [
+    ("quickstart.py", "auto-tuned block sizes"),
+    ("clover_custom_op.py", "flop/byte = 0.525"),
+    ("llvm_backend.py", "bit-identical: True"),
+])
+def test_example_runs(script, expect):
+    out = _run(script)
+    assert expect in out

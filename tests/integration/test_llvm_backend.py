@@ -1,0 +1,200 @@
+"""Tests for the LLVM backend (paper Sec. XI, Future Work).
+
+Every kernel family the expression layer generates is transpiled to
+LLVM IR and executed on the CPU target; results must be bit-identical
+to the PTX driver's."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.context import Context
+from repro.llvm import LLVMBackend, TranspileError, transpile
+from repro.qdp.fields import latt_color_matrix, latt_fermion, latt_real
+from repro.qdp.lattice import Lattice
+
+_VIEWS = ("float32", "float64", "int32", "int64", "uint32", "uint64")
+
+
+def _run_llvm_and_compare(ctx, dest, build_expr, extra_fields,
+                          subset=None):
+    """Evaluate via PTX, snapshot, zero, re-run via LLVM, compare."""
+    dest.assign(build_expr(), subset=subset)
+    ref = dest.to_numpy().copy()
+    module, plan, compiled = list(ctx.module_cache.values())[-1]
+
+    # capture the parameter binding by re-walking like the evaluator
+    from repro.core.expr import SlotAssigner, as_expr
+    from repro.core.evaluator import _normalize, _shift_table
+
+    expr = _normalize(as_expr(build_expr()), dest, ctx)
+    slots = SlotAssigner()
+    expr.signature(slots)
+    lattice = dest.lattice
+    sub = subset if subset is not None else lattice.all_sites
+    addrs = ctx.field_cache.make_available([dest] + slots.fields)
+    params = {"p_lo": lattice.nsites, "p_n": len(sub),
+              "p_dst": addrs[dest.uid]}
+    if not sub.is_full:
+        params["p_stab"] = ctx.upload_table(
+            ("subset", lattice.dims, sub.name), sub.sites)
+    for i, (mu, sign) in enumerate(slots.shifts):
+        params[f"p_sh{i}"] = _shift_table(ctx, lattice, mu, sign)
+    for i, f in enumerate(slots.fields):
+        params[f"p_f{i}"] = addrs[f.uid]
+    for i, sn in enumerate(slots.scalar_slots):
+        params[f"p_s{i}_re"] = sn.value.real
+        if sn.spec.is_complex:
+            params[f"p_s{i}_im"] = sn.value.imag
+
+    views = {n: ctx.device.pool.view(n) for n in _VIEWS}
+    start = addrs[dest.uid] >> 3
+    views["float64"][start:start + dest.host.size] = 0
+
+    kernel = LLVMBackend().get_or_compile(module.render())
+    kernel(views, params, math.ceil(len(sub) / 128), 128)
+    got = ctx.device.memcpy_dtoh(addrs[dest.uid], dest.nbytes,
+                                 np.float64)[:dest.host.size]
+    ptx_soa = latt_fermion(lattice, context=ctx) \
+        if dest.spec.spin == (4,) else None
+    # compare raw SoA words against the PTX result
+    ctx.field_cache.invalidate_device(dest)
+    dest.from_numpy(ref)
+    assert np.array_equal(got, dest.host), \
+        f"LLVM/PTX mismatch: {np.abs(got - dest.host).max()}"
+
+
+@pytest.fixture()
+def llctx():
+    return Context()
+
+
+class TestCrossBackendAgreement:
+    def test_axpy(self, llctx, rng):
+        lat = Lattice((4, 4, 4, 4))
+        a = latt_fermion(lat, context=llctx)
+        b = latt_fermion(lat, context=llctx)
+        a.gaussian(rng)
+        b.gaussian(rng)
+        dest = latt_fermion(lat, context=llctx)
+        _run_llvm_and_compare(llctx, dest, lambda: 0.5 * a + b, [a, b])
+
+    def test_matvec(self, llctx, rng):
+        lat = Lattice((4, 4, 4, 4))
+        u = latt_color_matrix(lat, context=llctx)
+        psi = latt_fermion(lat, context=llctx)
+        u.gaussian(rng)
+        psi.gaussian(rng)
+        dest = latt_fermion(lat, context=llctx)
+        _run_llvm_and_compare(llctx, dest, lambda: u * psi, [u, psi])
+
+    def test_shift(self, llctx, rng):
+        from repro.core.expr import shift
+
+        lat = Lattice((4, 4, 4, 4))
+        psi = latt_fermion(lat, context=llctx)
+        psi.gaussian(rng)
+        dest = latt_fermion(lat, context=llctx)
+        _run_llvm_and_compare(llctx, dest,
+                              lambda: shift(psi.ref(), +1, 2), [psi])
+
+    def test_subset(self, llctx, rng):
+        lat = Lattice((4, 4, 4, 4))
+        a = latt_fermion(lat, context=llctx)
+        a.gaussian(rng)
+        dest = latt_fermion(lat, context=llctx)
+        _run_llvm_and_compare(llctx, dest, lambda: 2.0 * a, [a],
+                              subset=lat.even)
+
+    def test_adjoint_product(self, llctx, rng):
+        from repro.core.expr import adj
+
+        lat = Lattice((4, 4, 4, 4))
+        u = latt_color_matrix(lat, context=llctx)
+        psi = latt_fermion(lat, context=llctx)
+        u.gaussian(rng)
+        psi.gaussian(rng)
+        dest = latt_fermion(lat, context=llctx)
+        _run_llvm_and_compare(llctx, dest, lambda: adj(u) * psi, [u, psi])
+
+
+class TestIRText:
+    def _module_text(self, llctx, rng):
+        lat = Lattice((4, 4, 4, 4))
+        a = latt_fermion(lat, context=llctx)
+        a.gaussian(rng)
+        dest = latt_fermion(lat, context=llctx)
+        dest.assign(2.0 * a + a)
+        module = list(llctx.module_cache.values())[-1][0]
+        return module, transpile(module.render())
+
+    def test_structure(self, llctx, rng):
+        module, ir = self._module_text(llctx, rng)
+        text = ir.text
+        assert text.startswith("; transpiled from PTX kernel")
+        assert f"define void @{module.name}(" in text
+        assert "entry:" in text
+        assert "ret void" in text
+        assert text.rstrip().splitlines()[-1].startswith("declare") or \
+            "}" in text
+
+    def test_pointer_params(self, llctx, rng):
+        _, ir = self._module_text(llctx, rng)
+        assert "i8* %p_dst" in ir.text
+        assert "ptrtoint i8* %p_dst to i64" in ir.text
+
+    def test_control_flow(self, llctx, rng):
+        _, ir = self._module_text(llctx, rng)
+        assert "br i1 " in ir.text        # the bounds-check branch
+        assert "icmp sge i32" in ir.text
+
+    def test_loads_stores_typed(self, llctx, rng):
+        _, ir = self._module_text(llctx, rng)
+        assert "load double, double*" in ir.text
+        assert "store double" in ir.text
+
+    def test_ssa_unique_definitions(self, llctx, rng):
+        _, ir = self._module_text(llctx, rng)
+        defs = [line.split(" = ")[0].strip()
+                for line in ir.text.splitlines()
+                if " = " in line and line.startswith("  ")]
+        assert len(defs) == len(set(defs)), "IR is not SSA"
+
+    def test_math_intrinsics(self, llctx, rng):
+        from repro.core.expr import sqrt
+
+        lat = Lattice((4, 4, 4, 4))
+        r = latt_real(lat, context=llctx)
+        r.from_numpy(np.abs(rng.normal(size=lat.nsites)) + 0.1)
+        dest = latt_real(lat, context=llctx)
+        dest.assign(sqrt(r))
+        module = list(llctx.module_cache.values())[-1][0]
+        ir = transpile(module.render())
+        assert "@llvm.sqrt.f64" in ir.text
+        assert "declare double @llvm.sqrt.f64(double)" in ir.text
+
+
+class TestSubsetRestrictions:
+    def test_non_ssa_rejected(self):
+        ptx = """
+.version 3.1
+.target sm_35
+.address_size 64
+
+.visible .entry twice(
+    .param .u64 .ptr .global p_x
+)
+{
+    .reg .f64 %fd<1>;
+    .reg .u64 %ru<1>;
+
+    ld.param.u64 %ru0, [p_x];
+    mov.f64 %fd0, 1.0;
+    mov.f64 %fd0, 2.0;
+    st.global.f64 [%ru0], %fd0;
+    ret;
+}
+"""
+        with pytest.raises(TranspileError, match="assigned twice"):
+            transpile(ptx)

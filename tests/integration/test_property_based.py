@@ -1,0 +1,209 @@
+"""Property-based tests (hypothesis) on core data structures and
+algebraic invariants of the expression pipeline."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.memory.pool import ALIGNMENT, DevicePool, DeviceOutOfMemory, InvalidFree
+from repro.qdp.lattice import Lattice
+from repro.qdp.typesys import TypeSpec, tri_index, tri_unindex
+
+_slow = settings(max_examples=25,
+                 suppress_health_check=[HealthCheck.too_slow],
+                 deadline=None)
+
+
+# --- allocator ------------------------------------------------------------
+
+@_slow
+@given(st.lists(st.integers(min_value=1, max_value=4096),
+                min_size=1, max_size=40))
+def test_allocator_never_overlaps(sizes):
+    pool = DevicePool(1 << 20)
+    live = {}
+    for i, size in enumerate(sizes):
+        try:
+            addr = pool.allocate(size)
+        except DeviceOutOfMemory:
+            continue
+        live[addr] = pool.allocation_size(addr)
+        if i % 3 == 2 and live:
+            victim = next(iter(live))
+            pool.free(victim)
+            del live[victim]
+    spans = sorted((a, a + s) for a, s in live.items())
+    for (a0, e0), (a1, e1) in zip(spans, spans[1:]):
+        assert e0 <= a1, "allocations overlap"
+    for a in spans:
+        assert a[0] % ALIGNMENT == 0
+
+
+@_slow
+@given(st.lists(st.integers(min_value=1, max_value=65536),
+                min_size=1, max_size=30))
+def test_allocator_full_free_restores_capacity(sizes):
+    pool = DevicePool(1 << 20)
+    addrs = []
+    for s in sizes:
+        try:
+            addrs.append(pool.allocate(s))
+        except DeviceOutOfMemory:
+            break
+    initial_free = pool.capacity - ALIGNMENT
+    for a in addrs:
+        pool.free(a)
+    assert pool.bytes_free == initial_free
+    assert pool.largest_free_extent == initial_free
+
+
+# --- layout function ---------------------------------------------------------
+
+_spec_strategy = st.builds(
+    TypeSpec,
+    spin=st.sampled_from([(), (4,), (4, 4), (2,)]),
+    color=st.sampled_from([(), (3,), (3, 3), (6,)]),
+    is_complex=st.booleans(),
+    precision=st.sampled_from(["f32", "f64"]),
+)
+
+
+@_slow
+@given(_spec_strategy)
+def test_layout_bijective(spec):
+    seen = set()
+    for s in spec.spin_indices():
+        for c in spec.color_indices():
+            for r in range(spec.reality_size):
+                seen.add(spec.word_index(s, c, r))
+    assert seen == set(range(spec.words_per_site))
+
+
+@_slow
+@given(st.integers(0, 14))
+def test_triangular_packing_roundtrip(k):
+    i, j = tri_unindex(k)
+    assert tri_index(i, j) == k
+
+
+# --- lattice geometry --------------------------------------------------------
+
+_dims_strategy = st.lists(st.sampled_from([2, 4, 6]), min_size=2,
+                          max_size=4)
+
+
+@_slow
+@given(_dims_strategy, st.integers(0, 3), st.sampled_from([1, -1]))
+def test_shift_maps_are_permutations(dims, mu, sign):
+    lat = Lattice(tuple(dims))
+    mu = mu % lat.nd
+    t = lat.shift_map(mu, sign)
+    assert sorted(t) == list(range(lat.nsites))
+    tinv = lat.shift_map(mu, -sign)
+    assert np.array_equal(t[tinv], np.arange(lat.nsites))
+
+
+@_slow
+@given(_dims_strategy)
+def test_checkerboard_halves(dims):
+    lat = Lattice(tuple(dims))
+    assert len(lat.even) == len(lat.odd) == lat.nsites // 2
+
+
+# --- expression pipeline invariants --------------------------------------
+
+@pytest.fixture(scope="module")
+def _linctx():
+    from repro.core.context import Context
+
+    return Context()
+
+
+@_slow
+@given(alpha=st.complex_numbers(max_magnitude=10, allow_nan=False,
+                                allow_infinity=False),
+       beta=st.complex_numbers(max_magnitude=10, allow_nan=False,
+                               allow_infinity=False),
+       seed=st.integers(0, 2**31 - 1))
+def test_evaluation_linearity(_linctx, alpha, beta, seed):
+    """dest = alpha*a + beta*b through the kernel pipeline equals the
+    NumPy result for arbitrary complex coefficients."""
+    from repro.qdp.fields import latt_fermion
+
+    lat = Lattice((2, 2, 2, 2))
+    rng = np.random.default_rng(seed)
+    a = latt_fermion(lat, context=_linctx)
+    b = latt_fermion(lat, context=_linctx)
+    a.gaussian(rng)
+    b.gaussian(rng)
+    out = latt_fermion(lat, context=_linctx)
+    out.assign(alpha * a + beta * b)
+    ref = alpha * a.to_numpy() + beta * b.to_numpy()
+    assert np.allclose(out.to_numpy(), ref, rtol=1e-12, atol=1e-12)
+
+
+@_slow
+@given(seed=st.integers(0, 2**31 - 1))
+def test_adj_involution(_linctx, seed):
+    """adj(adj(U)) = U through the pipeline."""
+    from repro.core.expr import adj
+    from repro.qdp.fields import latt_color_matrix
+
+    lat = Lattice((2, 2, 2, 2))
+    rng = np.random.default_rng(seed)
+    u = latt_color_matrix(lat, context=_linctx)
+    u.gaussian(rng)
+    out = latt_color_matrix(lat, context=_linctx)
+    out.assign(adj(adj(u)))
+    assert np.array_equal(out.to_numpy(), u.to_numpy())
+
+
+@_slow
+@given(seed=st.integers(0, 2**31 - 1), mu=st.integers(0, 3),
+       sign=st.sampled_from([1, -1]))
+def test_shift_inverse_roundtrip(_linctx, seed, mu, sign):
+    """shift back and forth returns the original field exactly."""
+    from repro.core.expr import shift
+    from repro.qdp.fields import latt_fermion
+
+    lat = Lattice((2, 4, 2, 4))
+    rng = np.random.default_rng(seed)
+    a = latt_fermion(lat, context=_linctx)
+    a.gaussian(rng)
+    out = latt_fermion(lat, context=_linctx)
+    out.assign(shift(shift(a.ref(), 1 * sign, mu), -1 * sign, mu))
+    assert np.array_equal(out.to_numpy(), a.to_numpy())
+
+
+@_slow
+@given(seed=st.integers(0, 2**31 - 1))
+def test_norm_triangle_inequality(_linctx, seed):
+    from repro.core.reduction import norm2
+    from repro.qdp.fields import latt_fermion
+
+    lat = Lattice((2, 2, 2, 2))
+    rng = np.random.default_rng(seed)
+    a = latt_fermion(lat, context=_linctx)
+    b = latt_fermion(lat, context=_linctx)
+    a.gaussian(rng)
+    b.gaussian(rng)
+    na = norm2(a) ** 0.5
+    nb = norm2(b) ** 0.5
+    nab = norm2(a + b) ** 0.5
+    assert nab <= na + nb + 1e-9
+
+
+@_slow
+@given(seed=st.integers(0, 2**31 - 1))
+def test_cauchy_schwarz(_linctx, seed):
+    from repro.core.reduction import innerProduct, norm2
+    from repro.qdp.fields import latt_fermion
+
+    lat = Lattice((2, 2, 2, 2))
+    rng = np.random.default_rng(seed)
+    a = latt_fermion(lat, context=_linctx)
+    b = latt_fermion(lat, context=_linctx)
+    a.gaussian(rng)
+    b.gaussian(rng)
+    assert abs(innerProduct(a, b)) ** 2 <= norm2(a) * norm2(b) * (1 + 1e-9)

@@ -1,0 +1,119 @@
+"""Tests for the flat device memory pool / allocator."""
+
+import numpy as np
+import pytest
+
+from repro.memory.pool import (
+    ALIGNMENT,
+    BASE_ADDRESS,
+    DeviceOutOfMemory,
+    DevicePool,
+    InvalidFree,
+)
+
+
+class TestAllocator:
+    def test_alignment(self):
+        pool = DevicePool(1 << 20)
+        for size in (1, 17, 255, 256, 1000):
+            addr = pool.allocate(size)
+            assert addr % ALIGNMENT == 0
+
+    def test_null_address_never_returned(self):
+        pool = DevicePool(1 << 20)
+        addrs = [pool.allocate(64) for _ in range(10)]
+        assert all(a >= BASE_ADDRESS for a in addrs)
+
+    def test_distinct_allocations_disjoint(self):
+        pool = DevicePool(1 << 20)
+        a = pool.allocate(1000)
+        b = pool.allocate(1000)
+        asz = pool.allocation_size(a)
+        assert b >= a + asz or a >= b + pool.allocation_size(b)
+
+    def test_oom(self):
+        pool = DevicePool(1 << 16)
+        with pytest.raises(DeviceOutOfMemory):
+            pool.allocate(1 << 20)
+        assert pool.stats.n_failed_allocs == 1
+
+    def test_free_then_reuse(self):
+        pool = DevicePool(1 << 16)
+        a = pool.allocate(48 * 1024)
+        with pytest.raises(DeviceOutOfMemory):
+            pool.allocate(48 * 1024)
+        pool.free(a)
+        b = pool.allocate(48 * 1024)
+        assert b == a
+
+    def test_coalescing(self):
+        pool = DevicePool(1 << 20)
+        blocks = [pool.allocate(4096) for _ in range(8)]
+        for b in blocks:
+            pool.free(b)
+        # after freeing everything the pool must satisfy one large
+        # allocation again (fragmentation coalesced away)
+        big = pool.allocate(8 * 4096)
+        assert big == blocks[0]
+
+    def test_double_free_rejected(self):
+        pool = DevicePool(1 << 16)
+        a = pool.allocate(64)
+        pool.free(a)
+        with pytest.raises(InvalidFree):
+            pool.free(a)
+
+    def test_free_unknown_rejected(self):
+        pool = DevicePool(1 << 16)
+        with pytest.raises(InvalidFree):
+            pool.free(12345 * ALIGNMENT)
+
+    def test_zero_size_rejected(self):
+        pool = DevicePool(1 << 16)
+        with pytest.raises(ValueError):
+            pool.allocate(0)
+
+    def test_accounting(self):
+        pool = DevicePool(1 << 20)
+        a = pool.allocate(1000)
+        used = pool.stats.bytes_in_use
+        assert used >= 1000
+        pool.free(a)
+        assert pool.stats.bytes_in_use == 0
+        assert pool.stats.peak_bytes_in_use == used
+
+    def test_bytes_free_plus_used_is_capacity(self):
+        pool = DevicePool(1 << 20)
+        pool.allocate(5000)
+        pool.allocate(300)
+        assert (pool.bytes_free + pool.stats.bytes_in_use
+                == pool.capacity - BASE_ADDRESS)
+
+
+class TestDataAccess:
+    def test_write_read_roundtrip(self):
+        pool = DevicePool(1 << 20)
+        addr = pool.allocate(800)
+        data = np.arange(100, dtype=np.float64)
+        pool.write(addr, data)
+        out = pool.read(addr, 800, np.float64)
+        assert np.array_equal(out, data)
+
+    def test_typed_views_share_memory(self):
+        pool = DevicePool(1 << 16)
+        addr = pool.allocate(8)
+        pool.write(addr, np.array([1.5], dtype=np.float64))
+        v = pool.view(np.float64)
+        assert v[addr >> 3] == 1.5
+        v[addr >> 3] = 2.5
+        assert pool.read(addr, 8, np.float64)[0] == 2.5
+
+    def test_out_of_range_write_rejected(self):
+        pool = DevicePool(1 << 16)
+        with pytest.raises(ValueError):
+            pool.write(pool.capacity - 4, np.zeros(2, dtype=np.float64))
+
+    def test_out_of_range_read_rejected(self):
+        pool = DevicePool(1 << 16)
+        with pytest.raises(ValueError):
+            pool.read(0, 16)

@@ -1,0 +1,188 @@
+"""Tests for the figure-regeneration models: every quantitative claim
+of the paper's evaluation section, with tolerances."""
+
+import numpy as np
+import pytest
+
+from repro.device import K20M_ECC_ON, K20X_ECC_OFF
+from repro.perfmodel import (
+    figure_4_5,
+    figure_6,
+    figure_7,
+    figure_8,
+    generate_test_kernels,
+    node_hours,
+    resource_cost_factor,
+    speedup,
+    trajectory_time,
+)
+
+
+@pytest.fixture(scope="module")
+def fig6():
+    return figure_6(ls=[8, 16, 24, 32, 40])
+
+
+class TestFigure45:
+    """Fig. 4/5: sustained bandwidth vs volume, SP and DP."""
+
+    def test_plateau_at_79_percent(self):
+        curves = figure_4_5("f64", ls=[24, 28])
+        peak = K20X_ECC_OFF.peak_bandwidth / 1e9
+        for name, pts in curves.items():
+            frac = pts[-1][1] / peak
+            assert 0.74 <= frac <= 0.80, name
+
+    def test_curves_collapse(self):
+        """Paper: 'the curves ... (nearly) fall on top of each other'.
+        Small volumes amortize the launch overhead differently, so a
+        larger spread is tolerated on the rising flank."""
+        curves = figure_4_5("f32", ls=[8, 16, 24])
+        tolerances = {8: 0.20, 16: 0.10, 24: 0.05}
+        for i, l in enumerate((8, 16, 24)):
+            vals = [pts[i][1] for pts in curves.values()]
+            spread = (max(vals) - min(vals)) / max(vals)
+            assert spread < tolerances[l], l
+
+    def test_sp_shoulder_at_16(self):
+        curves = figure_4_5("f32", ls=[8, 12, 16, 28])
+        for pts in curves.values():
+            d = dict(pts)
+            assert d[16] >= 0.9 * d[28]     # shoulder reached
+            assert d[8] <= 0.55 * d[28]     # still rising before
+
+    def test_dp_shoulder_at_12(self):
+        curves = figure_4_5("f64", ls=[8, 12, 28])
+        for pts in curves.values():
+            d = dict(pts)
+            assert d[12] >= 0.85 * d[28]
+
+    def test_monotone_rise(self):
+        curves = figure_4_5("f64", ls=list(range(2, 29, 2)))
+        for pts in curves.values():
+            vals = [v for _, v in pts]
+            assert all(b >= a for a, b in zip(vals, vals[1:]))
+
+    def test_table_ii_arithmetic_intensities(self):
+        stats = generate_test_kernels("f64")
+        paper = {"lcm": 0.458, "upsi": 0.5, "spmat": 0.62,
+                 "matvec": 0.64, "clover": 0.525}
+        for name, ai in paper.items():
+            assert stats[name].flop_per_byte == pytest.approx(ai,
+                                                              abs=0.006)
+
+
+class TestFigure6:
+    """Fig. 6: Dslash with/without overlap, 2 GPUs, K20m ECC on."""
+
+    def test_overlap_wins_everywhere(self, fig6):
+        for prec in ("sp", "dp"):
+            ov = dict(fig6[f"{prec}_overlap"])
+            no = dict(fig6[f"{prec}_nooverlap"])
+            for l in ov:
+                assert ov[l] >= no[l]
+
+    def test_sp_gain_near_11_percent(self, fig6):
+        ov = dict(fig6["sp_overlap"])
+        no = dict(fig6["sp_nooverlap"])
+        gain = ov[40] / no[40] - 1
+        assert 0.05 <= gain <= 0.20    # paper: 11%
+
+    def test_dp_gain_positive_and_moderate(self, fig6):
+        ov = dict(fig6["dp_overlap"])
+        no = dict(fig6["dp_nooverlap"])
+        gain = ov[32] / no[32] - 1
+        assert 0.03 <= gain <= 0.20    # paper: ~7%
+
+    def test_absolute_gflops_anchors(self, fig6):
+        """Paper Sec. VIII-C: 197 GFLOPS SP @40^4, 90 DP @32^4."""
+        assert dict(fig6["sp_overlap"])[40] == pytest.approx(197, rel=0.06)
+        assert dict(fig6["dp_overlap"])[32] == pytest.approx(90, rel=0.06)
+
+    def test_quda_headroom_factors(self, fig6):
+        """QUDA / QDP-JIT: 1.76x SP, 1.9x DP (paper Sec. VIII-C)."""
+        from repro.quda import quda_dslash_gflops
+
+        sp = quda_dslash_gflops(K20M_ECC_ON, 40 ** 4, "f32") \
+            / dict(fig6["sp_overlap"])[40]
+        dp = quda_dslash_gflops(K20M_ECC_ON, 32 ** 4, "f64") \
+            / dict(fig6["dp_overlap"])[32]
+        assert sp == pytest.approx(1.76, rel=0.08)
+        assert dp == pytest.approx(1.9, rel=0.08)
+
+    def test_gflops_grow_with_volume(self, fig6):
+        for curve in fig6.values():
+            vals = [v for _, v in curve]
+            assert all(b >= a * 0.99 for a, b in zip(vals, vals[1:]))
+
+
+class TestFigure7:
+    """Fig. 7: HMC strong scaling on Blue Waters."""
+
+    def test_speedup_anchors_at_128(self):
+        assert speedup("cpu+quda", 128) == pytest.approx(2.2, rel=0.08)
+        assert speedup("qdpjit+quda", 128) == pytest.approx(11.0, rel=0.08)
+
+    def test_speedup_anchors_at_800(self):
+        assert speedup("cpu+quda", 800) == pytest.approx(1.8, rel=0.08)
+        assert speedup("qdpjit+quda", 800) == pytest.approx(3.7, rel=0.08)
+
+    def test_qdpjit_vs_cpuquda_at_800(self):
+        """Paper: 'a speedup factor of ~2.0 for 800 GPUs'."""
+        f = (trajectory_time("cpu+quda", 800)
+             / trajectory_time("qdpjit+quda", 800))
+        assert f == pytest.approx(2.0, rel=0.08)
+
+    def test_ordering_everywhere(self):
+        for p in (128, 256, 400, 512, 800):
+            assert (trajectory_time("qdpjit+quda", p)
+                    < trajectory_time("cpu+quda", p)
+                    < trajectory_time("cpu", p))
+
+    def test_cpu_scaling_flattens(self):
+        """Good scaling to 400 sockets, marginal 800 -> 1600."""
+        t128 = trajectory_time("cpu", 128)
+        t400 = trajectory_time("cpu", 400)
+        t800 = trajectory_time("cpu", 800)
+        t1600 = trajectory_time("cpu", 1600)
+        assert t400 < 0.45 * t128        # near-ideal early scaling
+        assert (t800 - t1600) / t800 < 0.10   # marginal at the end
+
+    def test_resource_cost_factor_5(self):
+        """258 vs 52 node-hours at 128 nodes => ~5x cheaper."""
+        assert node_hours("cpu+quda", 128) == pytest.approx(258, rel=0.1)
+        assert node_hours("qdpjit+quda", 128) == pytest.approx(52, rel=0.1)
+        assert resource_cost_factor(128) == pytest.approx(5.0, rel=0.1)
+
+    def test_figure_7_structure(self):
+        fig = figure_7()
+        assert set(fig) == {"cpu", "cpu+quda", "qdpjit+quda"}
+        assert fig["cpu"][-1][0] == 1600
+        assert fig["cpu+quda"][-1][0] == 800
+
+
+class TestFigure8:
+    def test_titan_hardly_distinguishable(self):
+        """Paper Fig. 8: Blue Waters and Titan nearly coincide."""
+        fig = figure_8()
+        for (p1, bw), (p2, ti) in zip(fig["bluewaters"], fig["titan"]):
+            assert p1 == p2
+            assert abs(ti - bw) / bw < 0.08
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            trajectory_time("gpu-magic", 128)
+        with pytest.raises(ValueError):
+            trajectory_time("cpu", 0)
+
+
+class TestJITOverheadClaim:
+    def test_trajectory_jit_overhead_band(self):
+        """Paper Sec. VIII-D: ~200 kernels at 0.05-0.22 s each =>
+        10-30 s per trajectory, negligible."""
+        from repro.driver.jitcompiler import modeled_jit_time
+
+        total = sum(modeled_jit_time(n)
+                    for n in np.random.default_rng(0).integers(
+                        30, 400, size=200))
+        assert 10.0 <= total <= 40.0

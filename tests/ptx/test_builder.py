@@ -1,0 +1,123 @@
+"""Unit tests for the kernel builder (emission + implicit promotion)."""
+
+import pytest
+
+from repro.ptx.builder import KernelBuilder, PTXBuildError, promote
+from repro.ptx.isa import PTXType, Register
+
+
+class TestPromotion:
+    """The implicit type promotion of paper Sec. III-D."""
+
+    def test_same_type(self):
+        assert promote(PTXType.F32, PTXType.F32) == PTXType.F32
+
+    def test_widest_float_wins(self):
+        assert promote(PTXType.F32, PTXType.F64) == PTXType.F64
+        assert promote(PTXType.F64, PTXType.F32) == PTXType.F64
+
+    def test_float_beats_int(self):
+        assert promote(PTXType.S32, PTXType.F32) == PTXType.F32
+        assert promote(PTXType.F64, PTXType.S64) == PTXType.F64
+
+    def test_wider_int_wins(self):
+        assert promote(PTXType.S32, PTXType.S64) == PTXType.S64
+        assert promote(PTXType.U32, PTXType.U64) == PTXType.U64
+
+    def test_signed_wins_ties(self):
+        assert promote(PTXType.S32, PTXType.U32) == PTXType.S32
+
+
+class TestBuilder:
+    def test_registers_are_fresh_and_numbered(self):
+        kb = KernelBuilder("k")
+        a = kb.new_reg(PTXType.F64)
+        b = kb.new_reg(PTXType.F64)
+        c = kb.new_reg(PTXType.F32)
+        assert (a.index, b.index, c.index) == (0, 1, 0)
+
+    def test_mixed_precision_inserts_cvt(self):
+        kb = KernelBuilder("k")
+        a = kb.new_reg(PTXType.F32)
+        b = kb.new_reg(PTXType.F64)
+        r = kb.add(a, b)
+        assert r.type == PTXType.F64
+        assert any(i.opcode == "cvt" for i in kb.instructions)
+
+    def test_integer_multiply_uses_mul_lo(self):
+        kb = KernelBuilder("k")
+        a = kb.new_reg(PTXType.S64)
+        b = kb.new_reg(PTXType.S64)
+        r = kb.mul(a, b)
+        assert r.type == PTXType.S64
+        assert kb.instructions[-1].opcode == "mul.lo"
+
+    def test_float_fma_counts_two_flops(self):
+        kb = KernelBuilder("k")
+        a, b, c = (kb.new_reg(PTXType.F64) for _ in range(3))
+        before = kb.info.flops_per_site
+        kb.fma(a, b, c)
+        assert kb.info.flops_per_site == before + 2
+
+    def test_integer_mad_counts_no_flops(self):
+        kb = KernelBuilder("k")
+        a, b, c = (kb.new_reg(PTXType.S32) for _ in range(3))
+        before = kb.info.flops_per_site
+        kb.fma(a, b, c)
+        assert kb.info.flops_per_site == before
+
+    def test_load_counts_bytes(self):
+        kb = KernelBuilder("k")
+        addr = kb.new_reg(PTXType.U64)
+        kb.ld_global(addr, PTXType.F64)
+        assert kb.info.bytes_loaded_per_site == 8
+        kb.ld_global(addr, PTXType.F32)
+        assert kb.info.bytes_loaded_per_site == 12
+
+    def test_store_counts_bytes(self):
+        kb = KernelBuilder("k")
+        addr = kb.new_reg(PTXType.U64)
+        val = kb.new_reg(PTXType.F32)
+        kb.st_global(addr, val, PTXType.F32)
+        assert kb.info.bytes_stored_per_site == 4
+
+    def test_store_coerces_value(self):
+        kb = KernelBuilder("k")
+        addr = kb.new_reg(PTXType.U64)
+        val = kb.new_reg(PTXType.F64)
+        kb.st_global(addr, val, PTXType.F32)
+        assert any(i.opcode == "cvt" for i in kb.instructions)
+
+    def test_duplicate_param_rejected(self):
+        kb = KernelBuilder("k")
+        kb.add_param("p", PTXType.S32)
+        with pytest.raises(PTXBuildError):
+            kb.add_param("p", PTXType.S32)
+
+    def test_unknown_opcode_rejected(self):
+        kb = KernelBuilder("k")
+        a = kb.new_reg(PTXType.F32)
+        with pytest.raises(PTXBuildError):
+            kb.binary("frobnicate", a, a)
+        with pytest.raises(PTXBuildError):
+            kb.unary("frobnicate", a)
+        with pytest.raises(PTXBuildError):
+            kb.setp("approximately", a, a)
+
+    def test_finish_appends_ret(self):
+        kb = KernelBuilder("k")
+        kb.mov(kb.imm(1, PTXType.S32))
+        info = kb.finish()
+        assert kb.instructions[-1].opcode == "ret"
+        assert info.n_instructions == len(kb.instructions)
+
+    def test_global_thread_id_shape(self):
+        kb = KernelBuilder("k")
+        gid = kb.global_thread_id()
+        assert gid.type == PTXType.S32
+        opcodes = [i.opcode for i in kb.instructions]
+        assert "mad.lo" in opcodes  # ctaid * ntid + tid
+
+    def test_labels_unique(self):
+        kb = KernelBuilder("k")
+        assert kb.new_label() != kb.new_label()

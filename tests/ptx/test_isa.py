@@ -1,0 +1,127 @@
+"""Unit tests for the PTX ISA definitions."""
+
+import pytest
+
+from repro.ptx.isa import (
+    Immediate,
+    Instruction,
+    KernelInfo,
+    Param,
+    PTXType,
+    Register,
+    Special,
+)
+
+
+class TestPTXType:
+    def test_float_classification(self):
+        assert PTXType.F32.is_float and PTXType.F64.is_float
+        assert not PTXType.S32.is_float
+        assert not PTXType.PRED.is_float
+
+    def test_int_classification(self):
+        for t in (PTXType.S32, PTXType.S64, PTXType.U32, PTXType.U64):
+            assert t.is_int
+        assert not PTXType.F32.is_int
+
+    def test_signedness(self):
+        assert PTXType.S32.is_signed and PTXType.S64.is_signed
+        assert not PTXType.U32.is_signed and not PTXType.U64.is_signed
+
+    def test_sizes(self):
+        assert PTXType.F32.nbytes == 4
+        assert PTXType.F64.nbytes == 8
+        assert PTXType.S64.nbytes == 8
+        assert PTXType.PRED.nbytes == 1
+
+    def test_register_prefixes_unique(self):
+        prefixes = [t.reg_prefix for t in PTXType]
+        assert len(prefixes) == len(set(prefixes)), \
+            "ambiguous register naming would break the parser"
+
+
+class TestOperands:
+    def test_register_name(self):
+        assert Register(PTXType.F64, 3).name == "%fd3"
+        assert Register(PTXType.U64, 0).name == "%ru0"
+        assert Register(PTXType.PRED, 7).name == "%p7"
+
+    def test_immediate_rendering(self):
+        assert Immediate(PTXType.S32, 42).name == "42"
+        assert Immediate(PTXType.F64, 2.5).name == "2.5"
+
+    def test_float_immediate_roundtrips(self):
+        v = 0.1 + 0.2
+        assert float(Immediate(PTXType.F64, v).name) == v
+
+    def test_special_names(self):
+        assert Special("tid").name == "%tid.x"
+        assert Special("ctaid").name == "%ctaid.x"
+
+
+class TestInstructionRender:
+    def test_add(self):
+        i = Instruction("add", PTXType.F32,
+                        Register(PTXType.F32, 2),
+                        (Register(PTXType.F32, 0), Register(PTXType.F32, 1)))
+        assert i.render() == "add.f32 %f2, %f0, %f1;"
+
+    def test_fma_rounding_mode(self):
+        i = Instruction("fma", PTXType.F64, Register(PTXType.F64, 3),
+                        (Register(PTXType.F64, 0), Register(PTXType.F64, 1),
+                         Register(PTXType.F64, 2)))
+        assert i.render().startswith("fma.rn.f64")
+
+    def test_guarded_branch(self):
+        i = Instruction("bra", None, None, (), label="$EXIT",
+                        guard=Register(PTXType.PRED, 0))
+        assert i.render() == "@%p0 bra $EXIT;"
+
+    def test_negated_guard(self):
+        i = Instruction("bra", None, None, (), label="$L",
+                        guard=Register(PTXType.PRED, 1), guard_negated=True)
+        assert i.render().startswith("@!%p1")
+
+    def test_store(self):
+        i = Instruction("st.global", PTXType.F64, None,
+                        (Register(PTXType.U64, 0), Register(PTXType.F64, 5)))
+        assert i.render() == "st.global.f64 [%ru0], %fd5;"
+
+    def test_load(self):
+        i = Instruction("ld.global", PTXType.F32,
+                        Register(PTXType.F32, 1), (Register(PTXType.U64, 2),))
+        assert i.render() == "ld.global.f32 %f1, [%ru2];"
+
+    def test_cvt_narrowing_gets_rn(self):
+        i = Instruction("cvt", PTXType.F32, Register(PTXType.F32, 0),
+                        (Register(PTXType.F64, 0),), src_type=PTXType.F64)
+        assert "cvt.rn.f32.f64" in i.render()
+
+    def test_cvt_float_to_int_gets_rzi(self):
+        i = Instruction("cvt", PTXType.S32, Register(PTXType.S32, 0),
+                        (Register(PTXType.F64, 0),), src_type=PTXType.F64)
+        assert "cvt.rzi.s32.f64" in i.render()
+
+    def test_setp(self):
+        i = Instruction("setp", PTXType.S32, Register(PTXType.PRED, 0),
+                        (Register(PTXType.S32, 0), Register(PTXType.S32, 1)),
+                        cmp="ge")
+        assert i.render() == "setp.ge.s32 %p0, %r0, %r1;"
+
+
+class TestKernelInfo:
+    def test_flop_per_byte(self):
+        info = KernelInfo(name="k", flops_per_site=198,
+                          bytes_loaded_per_site=288,
+                          bytes_stored_per_site=144)
+        assert info.bytes_per_site == 432
+        assert abs(info.flop_per_byte - 0.4583) < 1e-3
+
+    def test_zero_bytes_guard(self):
+        info = KernelInfo(name="k")
+        assert info.flop_per_byte == 0.0
+
+    def test_total_regs_counts_64bit_double(self):
+        info = KernelInfo(name="k", regs_per_thread={"f32": 4, "f64": 3,
+                                                     "pred": 2})
+        assert info.total_regs_per_thread == 4 + 6 + 2

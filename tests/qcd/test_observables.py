@@ -1,0 +1,109 @@
+"""Tests for Wilson loops, Polyakov loop, topological charge."""
+
+import numpy as np
+import pytest
+
+from repro.qcd import su3
+from repro.qcd.gauge import gauge_transform, plaquette, unit_gauge, weak_gauge
+from repro.qcd.observables import (
+    energy_density,
+    polyakov_loop,
+    topological_charge,
+    wilson_loop,
+)
+from repro.qdp.fields import latt_color_matrix
+
+
+class TestWilsonLoop:
+    def test_unit_gauge(self, ctx, lat4):
+        u = unit_gauge(lat4)
+        assert wilson_loop(u, 0, 1, 2, 2) == pytest.approx(1.0, abs=1e-12)
+
+    def test_1x1_is_plaquette(self, ctx, lat4, rng):
+        u = weak_gauge(lat4, rng, eps=0.3)
+        w11 = np.mean([wilson_loop(u, mu, nu, 1, 1)
+                       for mu in range(4) for nu in range(mu + 1, 4)])
+        assert w11 == pytest.approx(plaquette(u), rel=1e-10)
+
+    def test_gauge_invariance(self, ctx, lat4, rng):
+        u = weak_gauge(lat4, rng, eps=0.3)
+        g = latt_color_matrix(lat4)
+        g.from_numpy(su3.random_su3(rng, lat4.nsites))
+        ug = gauge_transform(u, g)
+        assert wilson_loop(ug, 0, 2, 2, 3) == pytest.approx(
+            wilson_loop(u, 0, 2, 2, 3), abs=1e-11)
+
+    def test_area_law_ordering(self, ctx, lat4, rng):
+        """On a fluctuating field, larger loops are smaller."""
+        u = weak_gauge(lat4, rng, eps=0.4)
+        w11 = wilson_loop(u, 0, 1, 1, 1)
+        w22 = wilson_loop(u, 0, 1, 2, 2)
+        assert w22 < w11
+
+    def test_extent_validation(self, ctx, lat4, rng):
+        u = unit_gauge(lat4)
+        with pytest.raises(ValueError):
+            wilson_loop(u, 0, 1, 4, 1)
+
+
+class TestPolyakovLoop:
+    def test_unit_gauge(self, ctx, lat4):
+        assert polyakov_loop(unit_gauge(lat4)) == pytest.approx(1.0,
+                                                                abs=1e-12)
+
+    def test_gauge_invariance(self, ctx, lat4, rng):
+        u = weak_gauge(lat4, rng, eps=0.4)
+        g = latt_color_matrix(lat4)
+        g.from_numpy(su3.random_su3(rng, lat4.nsites))
+        assert polyakov_loop(gauge_transform(u, g)) == pytest.approx(
+            polyakov_loop(u), abs=1e-11)
+
+    def test_center_transformation(self, ctx, lat4, rng):
+        """Multiplying one time slice by the center element z rotates
+        the Polyakov loop by z — the confinement order parameter's
+        defining property."""
+        u = weak_gauge(lat4, rng, eps=0.2)
+        p0 = polyakov_loop(u)
+        z = np.exp(2j * np.pi / 3)
+        ut = u[3].to_numpy()
+        slice_sel = lat4.coords[:, 3] == 0
+        ut[slice_sel] *= z
+        u[3].from_numpy(ut)
+        assert polyakov_loop(u) == pytest.approx(z * p0, rel=1e-10)
+
+
+class TestTopologicalCharge:
+    def test_zero_on_unit_gauge(self, ctx, lat4):
+        assert abs(topological_charge(unit_gauge(lat4))) < 1e-12
+
+    def test_small_on_weak_field(self, ctx, lat4, rng):
+        q = topological_charge(weak_gauge(lat4, rng, eps=0.1))
+        assert abs(q) < 0.5
+
+    def test_odd_under_axis_swap(self, ctx, lat4, rng):
+        """Swapping two axes is an orientation-reversing relabeling:
+        the epsilon contraction must flip sign."""
+        u = weak_gauge(lat4, rng, eps=0.3)
+        q = topological_charge(u)
+        perm = [1, 0, 2, 3]
+        src = lat4.site_index(lat4.coords[:, perm])
+        from repro.qdp.fields import multi1d
+        from repro.qdp.fields import latt_color_matrix as lcm
+
+        swapped = multi1d([lcm(lat4) for _ in range(4)])
+        for m in range(4):
+            swapped[m].from_numpy(u[perm[m]].to_numpy()[src])
+        assert topological_charge(swapped) == pytest.approx(
+            -q, rel=1e-8, abs=1e-12)
+
+
+class TestEnergyDensity:
+    def test_zero_on_unit_gauge(self, ctx, lat4):
+        assert energy_density(unit_gauge(lat4)) < 1e-24
+
+    def test_grows_with_fluctuation(self, ctx, lat4):
+        rng1 = np.random.default_rng(1)
+        rng2 = np.random.default_rng(1)
+        e_small = energy_density(weak_gauge(lat4, rng1, eps=0.1))
+        e_big = energy_density(weak_gauge(lat4, rng2, eps=0.3))
+        assert e_big > e_small > 0

@@ -1,0 +1,161 @@
+"""Tests for the Krylov solvers (CG, BiCGStab, multi-shift CG)."""
+
+import numpy as np
+import pytest
+
+from repro.core.reduction import norm2
+from repro.qcd.gauge import weak_gauge
+from repro.qcd.solver import SolverError, bicgstab, cg, multishift_cg
+from repro.qcd.wilson import EvenOddWilsonOperator, WilsonOperator, WilsonParams
+from repro.qdp.fields import latt_fermion
+
+
+@pytest.fixture()
+def system(ctx, lat4, rng):
+    u = weak_gauge(lat4, rng, eps=0.3)
+    m = WilsonOperator(u, WilsonParams(kappa=0.12))
+    b = latt_fermion(lat4)
+    b.gaussian(rng)
+    return u, m, b
+
+
+def _true_residual(m, x, b, shift=0.0):
+    tmp = m.new_fermion()
+    m.apply_mdagm(tmp, x)
+    tmp.assign(b - tmp - shift * x)
+    return (norm2(tmp) / norm2(b)) ** 0.5
+
+
+class TestCG:
+    def test_converges_with_true_residual(self, ctx, lat4, system):
+        u, m, b = system
+        x = latt_fermion(lat4)
+        res = cg(lambda d, s: m.apply_mdagm(d, s), x, b,
+                 tol=1e-9, max_iter=500)
+        assert res.converged
+        assert _true_residual(m, x, b) < 5e-9
+
+    def test_residual_history_monotone_overall(self, ctx, lat4, system):
+        u, m, b = system
+        x = latt_fermion(lat4)
+        res = cg(lambda d, s: m.apply_mdagm(d, s), x, b,
+                 tol=1e-9, max_iter=500)
+        h = res.residual_history
+        assert h[-1] < 1e-4 * h[0]
+
+    def test_zero_rhs(self, ctx, lat4, system):
+        u, m, _ = system
+        b = latt_fermion(lat4)
+        x = latt_fermion(lat4)
+        res = cg(lambda d, s: m.apply_mdagm(d, s), x, b, tol=1e-9)
+        assert res.converged and res.iterations == 0
+        assert norm2(x) == 0.0
+
+    def test_warm_start(self, ctx, lat4, system):
+        u, m, b = system
+        x = latt_fermion(lat4)
+        res1 = cg(lambda d, s: m.apply_mdagm(d, s), x, b,
+                  tol=1e-9, max_iter=500)
+        res2 = cg(lambda d, s: m.apply_mdagm(d, s), x, b,
+                  tol=1e-9, max_iter=500)
+        assert res2.iterations <= 2
+
+    def test_max_iter_reported(self, ctx, lat4, system):
+        u, m, b = system
+        x = latt_fermion(lat4)
+        res = cg(lambda d, s: m.apply_mdagm(d, s), x, b,
+                 tol=1e-14, max_iter=3)
+        assert not res.converged
+        assert res.iterations == 3
+
+    def test_non_pd_operator_detected(self, ctx, lat4, system):
+        u, m, b = system
+
+        def negative_op(d, s):
+            d.assign(-1.0 * s.ref())
+
+        x = latt_fermion(lat4)
+        with pytest.raises(SolverError):
+            cg(negative_op, x, b, tol=1e-9, max_iter=10)
+
+    def test_even_odd_faster_than_full(self, ctx, lat4, system, rng):
+        u, m, b = system
+        m_eo = EvenOddWilsonOperator(u, m.params)
+        x_full = latt_fermion(lat4)
+        res_full = cg(lambda d, s: m.apply_mdagm(d, s), x_full, b,
+                      tol=1e-9, max_iter=600)
+        x_eo = latt_fermion(lat4)
+        res_eo = cg(lambda d, s: m_eo.apply_mdagm(d, s), x_eo, b,
+                    tol=1e-9, max_iter=600, subset=lat4.even)
+        assert res_eo.converged
+        assert res_eo.iterations < res_full.iterations
+
+
+class TestBiCGStab:
+    def test_solves_nonhermitian(self, ctx, lat4, system):
+        u, m, b = system
+        x = latt_fermion(lat4)
+        res = bicgstab(lambda d, s: m.apply(d, s), x, b,
+                       tol=1e-9, max_iter=500)
+        assert res.converged
+        tmp = m.new_fermion()
+        m.apply(tmp, x)
+        tmp.assign(b - tmp)
+        assert (norm2(tmp) / norm2(b)) ** 0.5 < 5e-9
+
+    def test_fewer_matvecs_than_normal_cg(self, ctx, lat4, system):
+        """BiCGStab on M uses 2 applies/iter but avoids squaring the
+        condition number: typically beats CG on M+M in matvecs."""
+        u, m, b = system
+        x1 = latt_fermion(lat4)
+        res_cg = cg(lambda d, s: m.apply_mdagm(d, s), x1, b,
+                    tol=1e-9, max_iter=600)
+        x2 = latt_fermion(lat4)
+        res_bi = bicgstab(lambda d, s: m.apply(d, s), x2, b,
+                          tol=1e-9, max_iter=600)
+        assert 2 * res_bi.iterations <= 2 * 2 * res_cg.iterations
+
+
+class TestMultiShift:
+    def test_all_shifts_solved(self, ctx, lat4, system):
+        u, m, b = system
+        shifts = [0.0, 0.05, 0.3, 1.5]
+        xs = [latt_fermion(lat4) for _ in shifts]
+        res = multishift_cg(lambda d, s: m.apply_mdagm(d, s), xs, b,
+                            shifts, tol=1e-9, max_iter=500)
+        assert res.converged
+        for sh, x in zip(shifts, xs):
+            assert _true_residual(m, x, b, shift=sh) < 5e-8
+
+    def test_single_krylov_sequence(self, ctx, lat4, system):
+        """The whole point: k shifts cost one sequence, so iteration
+        count must not exceed the unshifted solve's."""
+        u, m, b = system
+        x0 = latt_fermion(lat4)
+        res0 = cg(lambda d, s: m.apply_mdagm(d, s), x0, b,
+                  tol=1e-9, max_iter=500)
+        xs = [latt_fermion(lat4) for _ in range(4)]
+        res = multishift_cg(lambda d, s: m.apply_mdagm(d, s), xs, b,
+                            [0.0, 0.1, 0.5, 2.0], tol=1e-9, max_iter=500)
+        assert res.iterations <= res0.iterations + 2
+
+    def test_larger_shifts_converge_faster(self, ctx, lat4, system):
+        u, m, b = system
+        shifts = [0.0, 5.0]
+        xs = [latt_fermion(lat4) for _ in shifts]
+        res = multishift_cg(lambda d, s: m.apply_mdagm(d, s), xs, b,
+                            shifts, tol=1e-9, max_iter=500)
+        assert res.residual_norms[1] <= res.residual_norms[0] * 1.001
+
+    def test_negative_shift_rejected(self, ctx, lat4, system):
+        u, m, b = system
+        xs = [latt_fermion(lat4)]
+        with pytest.raises(ValueError):
+            multishift_cg(lambda d, s: m.apply_mdagm(d, s), xs, b,
+                          [-0.1])
+
+    def test_count_mismatch_rejected(self, ctx, lat4, system):
+        u, m, b = system
+        with pytest.raises(ValueError):
+            multishift_cg(lambda d, s: m.apply_mdagm(d, s),
+                          [latt_fermion(lat4)], b, [0.0, 0.1])

@@ -1,0 +1,151 @@
+"""Tests for lattice field containers and host<->SoA conversion."""
+
+import numpy as np
+import pytest
+
+from repro.qdp.fields import (
+    LatticeField,
+    gauge_field,
+    latt_color_matrix,
+    latt_complex,
+    latt_fermion,
+    latt_real,
+    multi1d,
+)
+from repro.qdp.typesys import fermion, scalar_complex
+
+
+class TestConstruction:
+    def test_zero_initialized(self, ctx, lat4):
+        psi = latt_fermion(lat4)
+        assert np.all(psi.to_numpy() == 0)
+
+    def test_shape(self, ctx, lat4):
+        assert latt_fermion(lat4).to_numpy().shape == (lat4.nsites, 4, 3)
+        assert latt_color_matrix(lat4).to_numpy().shape == (lat4.nsites, 3, 3)
+        assert latt_real(lat4).to_numpy().shape == (lat4.nsites,)
+
+    def test_uids_unique(self, ctx, lat4):
+        a = latt_fermion(lat4)
+        b = latt_fermion(lat4)
+        assert a.uid != b.uid
+
+    def test_scalar_spec_rejected(self, ctx, lat4):
+        with pytest.raises(ValueError):
+            LatticeField(lat4, scalar_complex())
+
+    def test_nbytes(self, ctx, lat4):
+        psi = latt_fermion(lat4, precision="f32")
+        assert psi.nbytes == 24 * lat4.nsites * 4
+
+
+class TestHostConversion:
+    def test_roundtrip(self, ctx, lat4, rng):
+        psi = latt_fermion(lat4)
+        data = (rng.normal(size=(lat4.nsites, 4, 3))
+                + 1j * rng.normal(size=(lat4.nsites, 4, 3)))
+        psi.from_numpy(data)
+        assert np.array_equal(psi.to_numpy(), data)
+
+    def test_layout_is_soa(self, ctx, lat4):
+        """Host storage follows I = ((iR*IC+iC)*IS+iS)*IV + iV."""
+        psi = latt_fermion(lat4)
+        data = np.zeros((lat4.nsites, 4, 3), dtype=complex)
+        site, s, c = 7, 2, 1
+        data[site, s, c] = 3.0 + 4.0j
+        psi.from_numpy(data)
+        n = lat4.nsites
+        w_re = psi.spec.word_index((s,), (c,), 0)
+        w_im = psi.spec.word_index((s,), (c,), 1)
+        assert psi.host[w_re * n + site] == 3.0
+        assert psi.host[w_im * n + site] == 4.0
+
+    def test_real_field_rejects_complex(self, ctx, lat4):
+        r = latt_real(lat4)
+        with pytest.raises(ValueError):
+            r.from_numpy(np.ones(lat4.nsites, dtype=complex))
+
+    def test_shape_mismatch_rejected(self, ctx, lat4):
+        psi = latt_fermion(lat4)
+        with pytest.raises(ValueError):
+            psi.from_numpy(np.zeros((lat4.nsites, 3, 4)))
+
+
+class TestFills:
+    def test_gaussian_unit_variance(self, ctx, rng):
+        from repro.qdp.lattice import Lattice
+
+        lat = Lattice((8, 8, 8, 8))
+        psi = latt_fermion(lat)
+        psi.gaussian(rng)
+        arr = psi.to_numpy()
+        # <|z|^2> = 1 per complex component
+        assert abs(np.mean(np.abs(arr) ** 2) - 1.0) < 0.02
+
+    def test_uniform_range(self, ctx, lat4, rng):
+        r = latt_real(lat4)
+        r.uniform(rng)
+        arr = r.to_numpy()
+        assert np.all((arr >= 0) & (arr < 1))
+
+    def test_zero(self, ctx, lat4, rng):
+        psi = latt_fermion(lat4)
+        psi.gaussian(rng)
+        psi.zero()
+        assert np.all(psi.to_numpy() == 0)
+
+
+class TestAssignment:
+    def test_copy_semantics(self, ctx, lat4, rng):
+        a = latt_fermion(lat4)
+        a.gaussian(rng)
+        b = a.copy()
+        assert np.array_equal(a.to_numpy(), b.to_numpy())
+        a.zero()
+        assert not np.all(b.to_numpy() == 0)
+
+    def test_ilshift_sugar(self, ctx, lat4, rng):
+        a = latt_fermion(lat4)
+        a.gaussian(rng)
+        b = latt_fermion(lat4)
+        b <<= 2.0 * a
+        assert np.allclose(b.to_numpy(), 2.0 * a.to_numpy())
+
+    def test_subset_assignment(self, ctx, lat4, rng):
+        a = latt_fermion(lat4)
+        a.gaussian(rng)
+        b = latt_fermion(lat4)
+        b.assign(2.0 * a, subset=lat4.even)
+        arr = b.to_numpy()
+        assert np.allclose(arr[lat4.even.sites], 2 * a.to_numpy()[lat4.even.sites])
+        assert np.all(arr[lat4.odd.sites] == 0)
+
+    def test_precision_conversion(self, ctx, lat4, rng):
+        a = latt_fermion(lat4, precision="f64")
+        a.gaussian(rng)
+        b = a.astype("f32")
+        assert b.spec.precision == "f32"
+        assert np.allclose(b.to_numpy(), a.to_numpy(), atol=1e-6)
+
+    def test_mixed_precision_expression(self, ctx, lat4, rng):
+        """Paper Sec. III-D: implicit type promotion with cvt."""
+        a32 = latt_fermion(lat4, precision="f32")
+        a32.gaussian(rng)
+        b64 = latt_fermion(lat4, precision="f64")
+        b64.gaussian(rng)
+        out = latt_fermion(lat4, precision="f64")
+        out.assign(a32 + b64)
+        ref = a32.to_numpy().astype(complex) + b64.to_numpy()
+        assert np.allclose(out.to_numpy(), ref, atol=1e-6)
+
+
+class TestMulti1d:
+    def test_gauge_field_shape(self, ctx, lat4):
+        u = gauge_field(lat4)
+        assert u.size == 4
+        assert all(f.spec.color == (3, 3) for f in u)
+
+    def test_indexing(self, ctx, lat4):
+        u = gauge_field(lat4)
+        assert u[0] is not u[1]
+        assert isinstance(u, multi1d)

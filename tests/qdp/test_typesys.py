@@ -1,0 +1,141 @@
+"""Tests for the nested type system (paper Table I) and SoA layout."""
+
+import numpy as np
+import pytest
+
+from repro.qdp.typesys import (
+    CLOVER_TRI,
+    TypeSpec,
+    clover_diag,
+    clover_triangular,
+    color_matrix,
+    color_vector,
+    complex_field,
+    fermion,
+    propagator,
+    real_field,
+    spin_matrix,
+    tri_index,
+    tri_unindex,
+)
+
+
+class TestTableITypes:
+    """The data types of paper Table I."""
+
+    def test_lattice_fermion(self):
+        psi = fermion("f32")
+        assert psi.spin == (4,) and psi.color == (3,)
+        assert psi.is_complex
+        assert psi.words_per_site == 24
+        assert psi.describe() == (
+            "Lattice<Vector<Vector<Complex<float>, 3>, 4>>")
+
+    def test_lattice_color_matrix(self):
+        u = color_matrix("f64")
+        assert u.spin == () and u.color == (3, 3)
+        assert u.words_per_site == 18
+        assert u.describe() == (
+            "Lattice<Scalar<Matrix<Complex<double>, 3>>>")
+
+    def test_lattice_spin_matrix(self):
+        g = spin_matrix()
+        assert g.spin == (4, 4) and g.color == ()
+        assert g.words_per_site == 32
+        assert g.describe() == (
+            "Lattice<Matrix<Scalar<Complex<double>>, 4>>")
+
+    def test_clover_types(self):
+        """Table I lower part: 2 blocks x (6 diag + 15 triangular)."""
+        d = clover_diag()
+        t = clover_triangular()
+        assert d.words_per_site == 12      # 2 * 6 reals
+        assert t.words_per_site == 60      # 2 * 15 complexes
+        assert not d.is_complex and t.is_complex
+        # total matches the 72 reals of the packed clover term
+        assert d.words_per_site + t.words_per_site == 72
+
+    def test_propagator(self):
+        p = propagator()
+        assert p.words_per_site == 4 * 4 * 3 * 3 * 2
+
+    def test_scalar_fields(self):
+        assert complex_field().words_per_site == 2
+        assert real_field().words_per_site == 1
+
+    def test_sizes(self):
+        assert fermion("f32").bytes_per_site == 96
+        assert fermion("f64").bytes_per_site == 192
+        assert color_vector().words_per_site == 6
+
+
+class TestLayout:
+    """The coalesced layout function of paper Sec. III-B:
+    I(iV,iS,iC,iR) = ((iR*IC + iC)*IS + iS)*IV + iV."""
+
+    def test_spin_fastest_inner_index(self):
+        psi = fermion()
+        assert psi.word_index((0,), (0,), 0) == 0
+        assert psi.word_index((1,), (0,), 0) == 1
+        assert psi.word_index((0,), (1,), 0) == 4       # IS = 4
+        assert psi.word_index((0,), (0,), 1) == 12      # IC*IS = 12
+
+    def test_matrix_flattening_row_major(self):
+        u = color_matrix()
+        assert u.word_index((), (0, 1), 0) == 1
+        assert u.word_index((), (1, 0), 0) == 3
+
+    def test_all_words_distinct(self):
+        for spec in (fermion(), color_matrix(), spin_matrix(),
+                     propagator(), clover_triangular()):
+            seen = set()
+            for s in spec.spin_indices():
+                for c in spec.color_indices():
+                    for r in range(spec.reality_size):
+                        seen.add(spec.word_index(s, c, r))
+            assert len(seen) == spec.words_per_site
+            assert seen == set(range(spec.words_per_site))
+
+    def test_reality_out_of_range(self):
+        with pytest.raises(IndexError):
+            real_field().word_index((), (), 1)
+
+
+class TestAdjoint:
+    def test_matrix_levels_transpose(self):
+        p = TypeSpec(spin=(4, 2), color=(3, 1), is_complex=True)
+        a = p.adjoint()
+        assert a.spin == (2, 4) and a.color == (1, 3)
+
+    def test_vectors_unchanged(self):
+        assert fermion().adjoint().spin == (4,)
+
+
+class TestValidation:
+    def test_bad_precision(self):
+        with pytest.raises(ValueError):
+            TypeSpec(spin=(), color=(), is_complex=True, precision="f16")
+
+    def test_bad_shape(self):
+        with pytest.raises(ValueError):
+            TypeSpec(spin=(2, 2, 2), color=(), is_complex=True)
+
+
+class TestTriangularPacking:
+    def test_roundtrip(self):
+        for k in range(CLOVER_TRI):
+            i, j = tri_unindex(k)
+            assert 0 <= j < i < 6
+            assert tri_index(i, j) == k
+
+    def test_covers_strict_lower_triangle(self):
+        ks = {tri_index(i, j) for i in range(6) for j in range(i)}
+        assert ks == set(range(CLOVER_TRI))
+
+    def test_rejects_diagonal_and_upper(self):
+        with pytest.raises(IndexError):
+            tri_index(2, 2)
+        with pytest.raises(IndexError):
+            tri_index(1, 3)
+        with pytest.raises(IndexError):
+            tri_unindex(15)

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..core.expr import adj, shift
+from ..core.expr import adj
 from ..qdp.lattice import Subset
 from ..qdp.typesys import fermion
 from .vm import DistributedField, VirtualMachine

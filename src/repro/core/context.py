@@ -9,7 +9,7 @@ lazily by :func:`qdp_init`; multi-rank runs (the virtual machine in
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..device.autotune import Autotuner
 from ..device.gpu import Device

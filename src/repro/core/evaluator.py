@@ -22,8 +22,10 @@ import hashlib
 from typing import TYPE_CHECKING
 
 from ..device.memmodel import KernelCost
+from ..diagnostics import verify_mode
 from ..ptx.verifier import verify
 from .codegen import build_expression_kernel
+from .lint import check_assignment
 
 if TYPE_CHECKING:
     from ..qdp.lattice import Subset
@@ -113,6 +115,9 @@ def evaluate(dest, expr, subset: "Subset | None" = None,
         return KernelCost(time_s=0.0, bandwidth_bytes_s=0.0,
                           mem_time_s=0.0, flop_time_s=0.0,
                           bytes_moved=0, flops=0)
+    # -- AST lint: surface data hazards before any kernel is built ------
+    mode = verify_mode()
+    check_assignment(dest, expr, subset=subset, mode=mode)
     expr = _normalize(expr, dest, ctx)
 
     slots = SlotAssigner()
@@ -125,7 +130,8 @@ def evaluate(dest, expr, subset: "Subset | None" = None,
         name = "eval_" + hashlib.sha256(key.encode()).hexdigest()[:12]
         module, plan = build_expression_kernel(name, expr, dest.spec,
                                                subset_mode)
-        verify(module)
+        if mode != "off":
+            verify(module)
         compiled, was_cached = ctx.kernel_cache.get_or_compile(module.render())
         if not was_cached:
             ctx.device.charge_jit(compiled.modeled_compile_seconds)

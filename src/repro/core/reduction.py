@@ -11,7 +11,6 @@ from __future__ import annotations
 
 import hashlib
 
-import numpy as np
 
 from typing import TYPE_CHECKING
 
@@ -70,7 +69,6 @@ def _build_reduction_kernel(name: str, kind: str, exprs: list[Expr],
         pim = kb.add_param(f"p_s{i}_im", ft) if sn.spec.is_complex else None
         scalar_params.append((pre, pim))
 
-    prec = exprs[0].spec.precision
     up = Unparser(kb, slots, exprs[0].spec, subset_mode)
     up.nsites_reg = kb.ld_param(p_lo)
     n_active = kb.ld_param(p_n)

@@ -1,0 +1,98 @@
+"""Structured diagnostics for the static-analysis layers.
+
+Both analysis layers — the PTX verifier pass pipeline
+(:mod:`repro.ptx.verifier`) and the expression-AST lint
+(:mod:`repro.core.lint`) — report their findings as
+:class:`Diagnostic` records rather than raising on the first
+violation.  A diagnostic names the pass that produced it, carries a
+severity, and points at the offending kernel/instruction or
+expression, so a single run can report *every* problem in a program.
+
+Strictness of the build-time hooks is controlled by the
+``REPRO_VERIFY`` environment knob (see :func:`verify_mode`):
+
+``off``
+    Skip static analysis entirely (shaves compile time; unsafe).
+``warn``
+    Run every pass but only *report* findings as Python warnings —
+    even error-severity ones.  Malformed kernels then surface as
+    downstream failures, as in the unverified code path.
+``error`` (default)
+    Error-severity diagnostics raise; warnings and notes are emitted
+    as Python warnings.
+"""
+
+from __future__ import annotations
+
+import enum
+import os
+import warnings
+from dataclasses import dataclass
+
+
+class Severity(enum.IntEnum):
+    """Severity of a diagnostic, ordered so comparisons make sense."""
+
+    NOTE = 0
+    WARNING = 1
+    ERROR = 2
+
+    @property
+    def label(self) -> str:
+        return self.name.lower()
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding of a static-analysis pass."""
+
+    severity: Severity
+    pass_name: str        # e.g. "definite-assignment", "shift-alias"
+    message: str
+    obj: str = ""         # kernel name / destination field name
+    location: str = ""    # rendered instruction or AST fragment
+
+    def render(self) -> str:
+        where = f" [{self.obj}]" if self.obj else ""
+        at = f" at '{self.location}'" if self.location else ""
+        return (f"{self.severity.label}: {self.pass_name}{where}: "
+                f"{self.message}{at}")
+
+
+def errors(diagnostics) -> list[Diagnostic]:
+    """The error-severity subset of a diagnostics list."""
+    return [d for d in diagnostics if d.severity >= Severity.ERROR]
+
+
+def max_severity(diagnostics) -> Severity | None:
+    """Highest severity present, or ``None`` for a clean report."""
+    return max((d.severity for d in diagnostics), default=None)
+
+
+VERIFY_MODES = ("off", "warn", "error")
+
+
+def verify_mode(default: str = "error") -> str:
+    """The current strictness mode from the ``REPRO_VERIFY`` knob.
+
+    Unrecognized values fall back to the default rather than raising:
+    a typo in an environment variable must not make every kernel
+    build unreproducibly strict or lax.
+    """
+    mode = os.environ.get("REPRO_VERIFY", default).strip().lower()
+    return mode if mode in VERIFY_MODES else default
+
+
+def emit_warnings(diagnostics, stacklevel: int = 3,
+                  min_severity: Severity = Severity.WARNING) -> None:
+    """Report diagnostics through the :mod:`warnings` machinery.
+
+    Notes are suppressed by default — they describe expected costs
+    (e.g. a shift that must be materialized), and surfacing them on
+    every evaluation would bury real warnings.  The structured lists
+    returned by the analysis entry points still carry them; the
+    ``repro.lint`` report prints them.
+    """
+    for d in diagnostics:
+        if d.severity >= min_severity:
+            warnings.warn(d.render(), RuntimeWarning, stacklevel=stacklevel)

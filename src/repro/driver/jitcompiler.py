@@ -23,8 +23,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..diagnostics import emit_warnings, errors, verify_mode
 from ..memory.pool import ALIGNMENT
-from ..ptx.isa import Immediate, Instruction, PTXType, Register, Special
+from ..ptx.isa import Immediate, Instruction, KernelInfo, PTXType, Register, Special
 from .parser import ParsedKernel, PTXParseError, parse_ptx
 
 
@@ -323,16 +324,48 @@ class _Translator:
         raise JITCompileError(f"unsupported opcode {op!r}")
 
 
+def _verify_parsed(parsed: ParsedKernel) -> None:
+    """Run the static-analysis pass pipeline on a parsed kernel.
+
+    Every PTX program entering the JIT — generated or hand-written —
+    passes through the same verifier the code generators use, so
+    malformed kernels fail at compile time with diagnostics instead
+    of as downstream evaluator failures.  Strictness follows
+    ``REPRO_VERIFY`` (off / warn / error; see :mod:`repro.diagnostics`).
+    """
+    mode = verify_mode()
+    if mode == "off":
+        return
+    from ..diagnostics import Severity
+    from ..ptx.module import PTXModule
+    from ..ptx.verifier import run_passes
+
+    info = KernelInfo(name=parsed.name, params=list(parsed.params))
+    module = PTXModule(info=info, instructions=list(parsed.instructions))
+    diagnostics = run_passes(module)
+    errs = errors(diagnostics)
+    if mode == "error" and errs:
+        emit_warnings([d for d in diagnostics
+                       if d.severity < Severity.ERROR], stacklevel=4)
+        raise JITCompileError(
+            "static verification failed:\n"
+            + "\n".join(d.render() for d in errs))
+    emit_warnings(diagnostics, stacklevel=4)
+
+
 def compile_ptx(ptx_text: str) -> CompiledKernel:
     """JIT-compile a PTX module's text into an executable kernel.
 
-    Raises :class:`JITCompileError` on malformed or unsupported input.
+    Raises :class:`JITCompileError` on malformed or unsupported input;
+    the static-analysis pipeline runs on every program first (gated by
+    the ``REPRO_VERIFY`` knob).
     """
     t0 = time.perf_counter()
     try:
         parsed = parse_ptx(ptx_text)
     except PTXParseError as exc:
         raise JITCompileError(f"parse error: {exc}") from exc
+    _verify_parsed(parsed)
     tr = _Translator(parsed)
     source = tr.translate()
     namespace = {"np": np, "_ld": _ld, "_st": _st, "_mand": _mand}

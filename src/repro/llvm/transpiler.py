@@ -180,7 +180,6 @@ class Transpiler:
             f"define void @{self.p.name}({', '.join(plist)}) {{",
             "entry:",
         ]
-        body_started = False
         for inst in self.p.instructions:
             self._lower(inst)
         self.lines.append("}")

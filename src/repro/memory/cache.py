@@ -16,7 +16,7 @@ bits (host/device); the cache is the only component that mutates them.
 from __future__ import annotations
 
 import weakref
-from dataclasses import dataclass, field as dfield
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterable, Protocol
 
 import numpy as np

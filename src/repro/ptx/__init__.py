@@ -5,6 +5,7 @@ assembly-like language and handed as text to the driver JIT.
 """
 
 from .builder import KernelBuilder, PTXBuildError, promote
+from .cfg import CFG, BasicBlock, DataflowAnalysis, build_cfg, solve
 from .isa import (
     BINARY_OPS,
     CMP_OPS,
@@ -18,16 +19,20 @@ from .isa import (
     Special,
 )
 from .module import PTX_TARGET, PTX_VERSION, PTXModule
-from .verifier import PTXVerificationError, verify
+from .verifier import PASSES, PTXVerificationError, run_passes, verify
 
 __all__ = [
     "BINARY_OPS",
+    "BasicBlock",
+    "CFG",
     "CMP_OPS",
+    "DataflowAnalysis",
     "UNARY_OPS",
     "Immediate",
     "Instruction",
     "KernelBuilder",
     "KernelInfo",
+    "PASSES",
     "Param",
     "PTXBuildError",
     "PTXModule",
@@ -37,6 +42,9 @@ __all__ = [
     "PTX_VERSION",
     "Register",
     "Special",
+    "build_cfg",
     "promote",
+    "run_passes",
+    "solve",
     "verify",
 ]

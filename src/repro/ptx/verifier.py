@@ -2,68 +2,107 @@
 
 The driver JIT rejects malformed programs; running the verifier at
 build time catches code-generator bugs early, with errors that point
-at the offending instruction.  Checks: registers are written before
-read, operand types match the instruction type, guards are predicates,
-branch targets exist, and every path ends in ``ret``.
+at the offending instruction.  The verifier is a *pass pipeline* over
+the kernel's control-flow graph (:mod:`repro.ptx.cfg`): each pass
+collects every violation it can find as a structured
+:class:`~repro.diagnostics.Diagnostic` rather than stopping at the
+first, so one run reports the complete state of a kernel.
+
+Passes:
+
+``operands``
+    Per-instruction structural and type checks: operand kinds, guard
+    predicates, branch targets, ``ld.param`` against the declared
+    parameter list (existence *and* type), load/store address and
+    value types, ``cvt``/``setp``/``selp`` shapes.
+``definite-assignment``
+    Forward dataflow proving every register is written on **every**
+    path before it is read — branch-aware, unlike a linear scan,
+    which both misses one-armed definitions and falsely accepts
+    defs that textually precede but do not dominate a use.
+``unreachable-code``
+    Blocks that no path from the entry reaches.
+``return-paths``
+    Every path from the entry ends in an unguarded ``ret``.
+``bounds-guard``
+    Memory safety: every ``ld.global``/``st.global`` executes under
+    the ``tid < nsites`` bounds check the code generators emit —
+    either dominated by the guard's fall-through block or itself
+    predicated.  Heuristic, hence warning severity: hand-written
+    kernels may establish safety by launch-geometry contract.
+
+:func:`run_passes` returns the full diagnostics list;
+:func:`verify` raises :class:`PTXVerificationError` if any
+error-severity diagnostic is present (the strict API used by the
+kernel build paths).
 """
 
 from __future__ import annotations
 
+from ..diagnostics import Diagnostic, Severity, errors
+from .cfg import CFG, DataflowAnalysis, build_cfg, solve
 from .isa import Immediate, Instruction, PTXType, Register, Special
 from .module import PTXModule
 
 
 class PTXVerificationError(Exception):
-    """A PTX program failed static verification."""
+    """A PTX program failed static verification.
+
+    Carries the full diagnostics list (``.diagnostics``) so callers
+    can report every violation, not just the first.
+    """
+
+    def __init__(self, message: str, diagnostics=()):
+        super().__init__(message)
+        self.diagnostics = list(diagnostics)
 
 
-def verify(module: PTXModule) -> None:
-    """Verify ``module``; raise :class:`PTXVerificationError` on the
-    first violation, return ``None`` if the program is well-formed."""
-    defined: set[tuple[str, int]] = set()
+def _regkey(r: Register) -> tuple[str, int]:
+    return (r.type.value, r.index)
+
+
+# --- pass: operands -------------------------------------------------------
+
+def _check_operands(module: PTXModule, cfg: CFG) -> list[Diagnostic]:
+    out: list[Diagnostic] = []
+
+    def err(message: str, inst: Instruction | None = None) -> None:
+        out.append(Diagnostic(Severity.ERROR, "operands", message,
+                              obj=module.name,
+                              location=inst.render() if inst else ""))
+
     labels = {i.label for i in module.instructions if i.opcode == "label"}
+    params = {p.name: p for p in module.info.params}
 
     def check_src(inst: Instruction, op, pos: int) -> None:
-        if isinstance(op, Register):
-            key = (op.type.value, op.index)
-            if key not in defined:
-                raise PTXVerificationError(
-                    f"{module.name}: use of undefined register {op.name} in "
-                    f"'{inst.render()}'")
-        elif isinstance(op, (Immediate, Special)):
-            pass
-        else:
-            # _ParamRef in ld.param
-            if inst.opcode != "ld.param":
-                raise PTXVerificationError(
-                    f"{module.name}: bad operand at position {pos} in "
-                    f"'{inst.render()}'")
+        if isinstance(op, (Register, Immediate, Special)):
+            return
+        # _ParamRef in ld.param is checked separately
+        if inst.opcode != "ld.param":
+            err(f"bad operand at position {pos}", inst)
 
-    param_names = {p.name for p in module.info.params}
-    saw_ret = False
     for inst in module.instructions:
-        if inst.guard is not None:
-            if inst.guard.type != PTXType.PRED:
-                raise PTXVerificationError(
-                    f"{module.name}: guard is not a predicate in "
-                    f"'{inst.render()}'")
-            check_src(inst, inst.guard, -1)
+        if inst.guard is not None and inst.guard.type != PTXType.PRED:
+            err("guard is not a predicate", inst)
         if inst.opcode == "label":
             continue
         if inst.opcode == "bra":
             if inst.label not in labels:
-                raise PTXVerificationError(
-                    f"{module.name}: branch to undefined label {inst.label}")
+                err(f"branch to undefined label {inst.label}")
             continue
         if inst.opcode == "ret":
-            saw_ret = True
             continue
         if inst.opcode == "ld.param":
             (pref,) = inst.srcs
-            if getattr(pref, "pname", None) not in param_names:
-                raise PTXVerificationError(
-                    f"{module.name}: ld.param of undeclared parameter "
+            pname = getattr(pref, "pname", None)
+            param = params.get(pname)
+            if param is None:
+                err(f"ld.param of undeclared parameter "
                     f"'{inst.render()}'")
+            elif param.type != inst.type:
+                err(f"ld.param type mismatch: parameter {pname!r} is "
+                    f"declared .{param.type.value} but loaded as "
+                    f".{inst.type.value}", inst)
         else:
             for i, op in enumerate(inst.srcs):
                 check_src(inst, op, i)
@@ -71,61 +110,233 @@ def verify(module: PTXModule) -> None:
         if inst.opcode == "st.global":
             addr, val = inst.srcs
             if isinstance(addr, Register) and addr.type != PTXType.U64:
-                raise PTXVerificationError(
-                    f"{module.name}: store address must be u64 in "
-                    f"'{inst.render()}'")
+                err("store address must be u64", inst)
             if isinstance(val, Register) and val.type != inst.type:
-                raise PTXVerificationError(
-                    f"{module.name}: store value type {val.type.value} != "
+                err(f"store value type {val.type.value} != "
                     f"instruction type {inst.type.value}")
         elif inst.opcode == "ld.global":
             (addr,) = inst.srcs
             if isinstance(addr, Register) and addr.type != PTXType.U64:
-                raise PTXVerificationError(
-                    f"{module.name}: load address must be u64 in "
-                    f"'{inst.render()}'")
+                err("load address must be u64", inst)
         elif inst.opcode == "cvt":
             if inst.src_type is None:
-                raise PTXVerificationError(
-                    f"{module.name}: cvt without source type")
-            (src,) = inst.srcs
-            if isinstance(src, Register) and src.type != inst.src_type:
-                raise PTXVerificationError(
-                    f"{module.name}: cvt source register type mismatch in "
-                    f"'{inst.render()}'")
+                err("cvt without source type")
+            else:
+                (src,) = inst.srcs
+                if isinstance(src, Register) and src.type != inst.src_type:
+                    err("cvt source register type mismatch", inst)
         elif inst.opcode == "setp":
-            if inst.dst.type != PTXType.PRED:
-                raise PTXVerificationError(
-                    f"{module.name}: setp destination must be a predicate")
+            if inst.dst is not None and inst.dst.type != PTXType.PRED:
+                err("setp destination must be a predicate")
             for op in inst.srcs:
                 if isinstance(op, Register) and op.type != inst.type:
-                    raise PTXVerificationError(
-                        f"{module.name}: setp operand type mismatch in "
-                        f"'{inst.render()}'")
+                    err("setp operand type mismatch", inst)
         elif inst.opcode == "selp":
             a, b, p = inst.srcs
             if isinstance(p, Register) and p.type != PTXType.PRED:
-                raise PTXVerificationError(
-                    f"{module.name}: selp selector must be a predicate")
+                err("selp selector must be a predicate")
             for op in (a, b):
                 if isinstance(op, Register) and op.type != inst.type:
-                    raise PTXVerificationError(
-                        f"{module.name}: selp operand type mismatch in "
-                        f"'{inst.render()}'")
-        else:
+                    err("selp operand type mismatch", inst)
+        elif inst.opcode != "ld.param":
             # plain arithmetic: all register operands match inst.type
             for op in inst.srcs:
                 if isinstance(op, Register) and op.type != inst.type:
-                    raise PTXVerificationError(
-                        f"{module.name}: operand type "
-                        f"{op.type.value} != {inst.type.value} in "
-                        f"'{inst.render()}'")
+                    err(f"operand type {op.type.value} != "
+                        f"{inst.type.value}", inst)
         if inst.dst is not None:
             want = PTXType.PRED if inst.opcode == "setp" else inst.type
             if inst.dst.type != want:
-                raise PTXVerificationError(
-                    f"{module.name}: destination type mismatch in "
-                    f"'{inst.render()}'")
-            defined.add((inst.dst.type.value, inst.dst.index))
-    if not saw_ret:
-        raise PTXVerificationError(f"{module.name}: kernel does not return")
+                err("destination type mismatch", inst)
+    return out
+
+
+# --- pass: definite assignment --------------------------------------------
+
+class _DefinedRegisters(DataflowAnalysis):
+    """Forward must-analysis: registers written on every path.
+
+    Meet is intersection (a register counts as defined only if every
+    incoming path defines it).  A guarded write still counts as a
+    definition — inactive lanes keep the previous value, and the
+    driver's lane-masked translation initializes the slot — matching
+    the conservatism of the original linear-scan verifier.
+    """
+
+    direction = "forward"
+
+    def boundary(self):
+        return frozenset()
+
+    def meet(self, facts):
+        it = iter(facts)
+        out = next(it)
+        for f in it:
+            out = out & f
+        return out
+
+    def transfer(self, block, instructions, fact):
+        defs = {_regkey(i.dst) for i in instructions if i.dst is not None}
+        return fact | defs
+
+
+def _check_definite_assignment(module: PTXModule,
+                               cfg: CFG) -> list[Diagnostic]:
+    inputs, _ = solve(cfg, _DefinedRegisters())
+    out: list[Diagnostic] = []
+    reported: set[tuple[int, tuple[str, int]]] = set()
+
+    def use(inst: Instruction, pos: int, op, defined: set) -> None:
+        if not isinstance(op, Register):
+            return
+        key = _regkey(op)
+        if key in defined or (pos, key) in reported:
+            return
+        reported.add((pos, key))
+        out.append(Diagnostic(
+            Severity.ERROR, "definite-assignment",
+            f"use of undefined register {op.name} in "
+            f"'{inst.render()}'", obj=module.name))
+
+    for b in cfg.reachable():
+        blk = cfg.blocks[b]
+        defined = set(inputs.get(b, frozenset()))
+        for pos in range(blk.start, blk.stop):
+            inst = cfg.instructions[pos]
+            if inst.guard is not None:
+                use(inst, pos, inst.guard, defined)
+            if inst.opcode in ("label", "bra", "ret", "ld.param"):
+                pass
+            else:
+                for op in inst.srcs:
+                    use(inst, pos, op, defined)
+            if inst.dst is not None:
+                defined.add(_regkey(inst.dst))
+    out.sort(key=lambda d: d.message)
+    return out
+
+
+# --- pass: unreachable code ------------------------------------------------
+
+def _check_unreachable(module: PTXModule, cfg: CFG) -> list[Diagnostic]:
+    out: list[Diagnostic] = []
+    reachable = cfg.reachable()
+    for blk in cfg.blocks:
+        if blk.index in reachable:
+            continue
+        body = [i for i in blk.instructions(cfg.instructions)
+                if i.opcode != "label"]
+        if body:
+            out.append(Diagnostic(
+                Severity.WARNING, "unreachable-code",
+                f"{len(body)} unreachable instruction(s)",
+                obj=module.name, location=body[0].render()))
+    return out
+
+
+# --- pass: return paths ----------------------------------------------------
+
+def _check_return_paths(module: PTXModule, cfg: CFG) -> list[Diagnostic]:
+    out: list[Diagnostic] = []
+    reachable = cfg.reachable()
+    exits = [b for b in reachable if not cfg.blocks[b].successors]
+    if not exits:
+        out.append(Diagnostic(
+            Severity.ERROR, "return-paths",
+            "kernel does not return (no exit path from entry)",
+            obj=module.name))
+        return out
+    for b in exits:
+        blk = cfg.blocks[b]
+        insts = blk.instructions(cfg.instructions)
+        last = insts[-1] if insts else None
+        if last is None or last.opcode != "ret" or last.guard is not None:
+            out.append(Diagnostic(
+                Severity.ERROR, "return-paths",
+                "kernel does not return on every path "
+                "(block falls off the end without ret)",
+                obj=module.name,
+                location=last.render() if last is not None else ""))
+    return out
+
+
+# --- pass: bounds guard (memory safety) ------------------------------------
+
+def _check_bounds_guard(module: PTXModule, cfg: CFG) -> list[Diagnostic]:
+    """Every global memory access must be under the bounds check.
+
+    The code generators emit ``setp.ge %p, gid, n; @%p bra EXIT`` so
+    that every ``ld.global``/``st.global`` is *dominated* by the
+    guarded branch's fall-through block.  This pass recomputes that
+    property: an access is safe if a guard-established block
+    dominates it, or if the access itself is predicated on a
+    relational ``setp`` result.
+    """
+    mem_ops = [i for i in module.instructions
+               if i.opcode in ("ld.global", "st.global")]
+    if not mem_ops:
+        return []
+
+    # predicate registers produced by relational comparisons
+    relational = {_regkey(i.dst) for i in module.instructions
+                  if i.opcode == "setp" and i.dst is not None}
+
+    # blocks established by a guarded terminator branch (fall-through)
+    guard_blocks: set[int] = set()
+    for blk in cfg.blocks:
+        insts = blk.instructions(cfg.instructions)
+        if not insts:
+            continue
+        last = insts[-1]
+        if (last.opcode == "bra" and last.guard is not None
+                and _regkey(last.guard) in relational
+                and blk.index + 1 < len(cfg.blocks)):
+            guard_blocks.add(blk.index + 1)
+
+    dom = cfg.dominators()
+    out: list[Diagnostic] = []
+    for pos, inst in enumerate(cfg.instructions):
+        if inst.opcode not in ("ld.global", "st.global"):
+            continue
+        if inst.guard is not None and _regkey(inst.guard) in relational:
+            continue
+        b = cfg.block_of(pos)
+        if guard_blocks & dom.get(b, set()):
+            continue
+        out.append(Diagnostic(
+            Severity.WARNING, "bounds-guard",
+            f"{inst.opcode} is not dominated by a thread bounds guard "
+            f"(out-of-range threads may access out of bounds)",
+            obj=module.name, location=inst.render()))
+    return out
+
+
+# --- pipeline ---------------------------------------------------------------
+
+#: Ordered registry of verifier passes (name -> function).
+PASSES = {
+    "operands": _check_operands,
+    "definite-assignment": _check_definite_assignment,
+    "unreachable-code": _check_unreachable,
+    "return-paths": _check_return_paths,
+    "bounds-guard": _check_bounds_guard,
+}
+
+
+def run_passes(module: PTXModule, passes=None) -> list[Diagnostic]:
+    """Run the verification pipeline; return *all* diagnostics found."""
+    cfg = build_cfg(list(module.instructions))
+    out: list[Diagnostic] = []
+    for name in (passes if passes is not None else PASSES):
+        out.extend(PASSES[name](module, cfg))
+    return out
+
+
+def verify(module: PTXModule) -> None:
+    """Verify ``module``; raise :class:`PTXVerificationError` listing
+    every error-severity violation, return ``None`` if well-formed."""
+    diagnostics = run_passes(module)
+    errs = errors(diagnostics)
+    if errs:
+        summary = "\n".join(f"{module.name}: {d.message}" for d in errs)
+        raise PTXVerificationError(summary, diagnostics)

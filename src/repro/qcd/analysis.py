@@ -11,10 +11,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..core.reduction import norm2
 from ..qdp.fields import LatticeField, latt_fermion, multi1d
 from ..qdp.lattice import Lattice
-from .gamma import GAMMA5
 from .solver import cg
 from .wilson import EvenOddWilsonOperator, WilsonParams
 

@@ -15,7 +15,6 @@ from ..core.expr import adj, real, shift, trace
 from ..core.reduction import sum_sites
 from ..qdp.fields import LatticeField, latt_color_matrix, multi1d
 from ..qdp.lattice import FORWARD
-from .gamma import sigma
 from .gauge import field_strength_numpy
 
 

@@ -46,7 +46,8 @@ def cg(apply_op, x: LatticeField, b: LatticeField, *,
     """
     ctx = x.context
     lattice = x.lattice
-    mk = lambda: LatticeField(lattice, x.spec, context=ctx)
+    def mk():
+        return LatticeField(lattice, x.spec, context=ctx)
     r, p, ap = mk(), mk(), mk()
 
     b2 = norm2(b, subset=subset)
@@ -87,7 +88,8 @@ def bicgstab(apply_op, x: LatticeField, b: LatticeField, *,
     """BiCGStab for a general (non-Hermitian) operator."""
     ctx = x.context
     lattice = x.lattice
-    mk = lambda: LatticeField(lattice, x.spec, context=ctx)
+    def mk():
+        return LatticeField(lattice, x.spec, context=ctx)
     r, r0, p, v, s, t = (mk() for _ in range(6))
 
     b2 = norm2(b, subset=subset)
@@ -161,7 +163,8 @@ def multishift_cg(apply_op, xs: list[LatticeField], b: LatticeField,
     ns = len(shifts)
     ctx = b.context
     lattice = b.lattice
-    mk = lambda: LatticeField(lattice, b.spec, context=ctx)
+    def mk():
+        return LatticeField(lattice, b.spec, context=ctx)
     r, p, ap = mk(), mk(), mk()
     ps = [mk() for _ in range(ns)]
 

@@ -68,7 +68,6 @@ class TestCorrectness:
         rng = np.random.default_rng(7)
         dims = (4, 4, 4, 8)
         vm = VirtualMachine(dims, (1, 1, 2, 2))
-        glat = vm.global_lattice
         from repro.core.context import Context
         from repro.qcd.gauge import weak_gauge as wg
 

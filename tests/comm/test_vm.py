@@ -5,8 +5,6 @@ import numpy as np
 import pytest
 
 from repro.comm import VirtualMachine
-from repro.core.reduction import norm2 as local_norm2
-from repro.qdp.lattice import Lattice
 from repro.qdp.typesys import color_matrix, fermion
 
 

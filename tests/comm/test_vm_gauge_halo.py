@@ -2,11 +2,9 @@
 context table management."""
 
 import numpy as np
-import pytest
 
 from repro.comm import VirtualMachine
 from repro.core.context import Context
-from repro.qdp.lattice import Lattice
 from repro.qdp.typesys import color_matrix, real_field
 
 

@@ -2,11 +2,10 @@
 subsets, JIT accounting."""
 
 import numpy as np
-import pytest
 
 from repro.core.context import Context
 from repro.core.expr import shift
-from repro.qdp.fields import latt_color_matrix, latt_fermion
+from repro.qdp.fields import latt_fermion
 from repro.qdp.lattice import Lattice
 
 

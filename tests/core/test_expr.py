@@ -7,14 +7,8 @@ from repro.core.expr import (
     BinaryNode,
     ConstSpinMatrix,
     ExprTypeError,
-    FieldRef,
-    ScalarParam,
-    ShiftNode,
     SlotAssigner,
-    UnaryNode,
     adj,
-    as_expr,
-    conj,
     shift,
     timesI,
     trace,

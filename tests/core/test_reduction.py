@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core.expr import adj, shift, trace
+from repro.core.expr import shift, trace
 from repro.core.reduction import (
     ReductionError,
     innerProduct,
@@ -41,6 +41,7 @@ class TestNorm2:
         e = float(np.sum(np.abs(a.to_numpy()[lat4.even.sites]) ** 2))
         o = float(np.sum(np.abs(a.to_numpy()[lat4.odd.sites]) ** 2))
         assert norm2(a, subset=lat4.even) == pytest.approx(e, rel=1e-13)
+        assert norm2(a, subset=lat4.odd) == pytest.approx(o, rel=1e-13)
         assert norm2(a, subset=lat4.even) + norm2(a, subset=lat4.odd) \
             == pytest.approx(norm2(a), rel=1e-13)
 

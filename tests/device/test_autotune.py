@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.device import Autotuner, Device, LaunchError, Phase
+from repro.device import Autotuner, Device, Phase
 from repro.driver import compile_ptx
 from repro.ptx import KernelBuilder, PTXModule, PTXType
 

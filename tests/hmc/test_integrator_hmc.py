@@ -114,7 +114,6 @@ class TestHMCDriver:
 
     def test_rejection_restores_configuration(self, ctx, lat_small, rng):
         u = weak_gauge(lat_small, rng, eps=0.3)
-        snap = [x.to_numpy().copy() for x in u]
         hmc = HMC(u, _gauge_integrator(1), rng)   # huge step: reject
 
         # force a rejection by monkeypatching the random draw
@@ -123,6 +122,7 @@ class TestHMCDriver:
 
         r = None
         for _ in range(20):
+            snap = [x.to_numpy().copy() for x in u]
             r = hmc.trajectory(tau=1.0)
             if not r.accepted:
                 break
@@ -130,6 +130,8 @@ class TestHMCDriver:
             final = [x.to_numpy() for x in u]
             # configuration must equal the state before the rejected
             # trajectory (which is the previous accepted state)
+            for got, want in zip(final, snap):
+                assert np.array_equal(got, want)
             assert hmc.history[-1].accepted is False
 
     def test_creutz_identity(self, ctx, lat_small):

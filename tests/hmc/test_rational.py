@@ -5,7 +5,6 @@ import pytest
 
 from repro.hmc.rational import (
     PartialFraction,
-    RationalError,
     fourth_root,
     inv_sqrt,
     rational_inverse_power,

@@ -56,8 +56,6 @@ def _run_llvm_and_compare(ctx, dest, build_expr, extra_fields,
     kernel(views, params, math.ceil(len(sub) / 128), 128)
     got = ctx.device.memcpy_dtoh(addrs[dest.uid], dest.nbytes,
                                  np.float64)[:dest.host.size]
-    ptx_soa = latt_fermion(lattice, context=ctx) \
-        if dest.spec.spin == (4,) else None
     # compare raw SoA words against the PTX result
     ctx.field_cache.invalidate_device(dest)
     dest.from_numpy(ref)

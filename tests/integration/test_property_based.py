@@ -6,7 +6,7 @@ import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
-from repro.memory.pool import ALIGNMENT, DevicePool, DeviceOutOfMemory, InvalidFree
+from repro.memory.pool import ALIGNMENT, DevicePool, DeviceOutOfMemory
 from repro.qdp.lattice import Lattice
 from repro.qdp.typesys import TypeSpec, tri_index, tri_unindex
 

@@ -1,7 +1,5 @@
 """Tests for the machine models (paper Sec. VIII-A platforms)."""
 
-import pytest
-
 from repro.perfmodel.machines import (
     BLUEWATERS_XE,
     BLUEWATERS_XK,

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.ptx.builder import KernelBuilder, PTXBuildError, promote
-from repro.ptx.isa import PTXType, Register
+from repro.ptx.isa import PTXType
 
 
 class TestPromotion:

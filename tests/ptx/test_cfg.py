@@ -1,0 +1,173 @@
+"""Tests for CFG construction, dominators, and the dataflow solver."""
+
+from repro.ptx import KernelBuilder, PTXType
+from repro.ptx.cfg import DataflowAnalysis, build_cfg, solve
+from repro.ptx.liveness import max_live_registers
+
+
+def _diamond():
+    """if (p) {A} else {B}; join — four blocks."""
+    kb = KernelBuilder("diamond")
+    pn = kb.add_param("p_n", PTXType.S32)
+    n = kb.ld_param(pn)
+    gid = kb.global_thread_id()
+    p = kb.setp("ge", gid, n)
+    kb.bra("$ELSE", guard=p)
+    kb.mov(kb.imm(1.0, PTXType.F64))        # then-arm
+    kb.bra("$JOIN")
+    kb.label("$ELSE")
+    kb.mov(kb.imm(2.0, PTXType.F64))        # else-arm
+    kb.label("$JOIN")
+    kb.ret()
+    return kb
+
+
+def _loop():
+    """One-block loop body with a conditional back edge."""
+    kb = KernelBuilder("loop")
+    x = kb.mov(kb.imm(0.0, PTXType.F32))
+    kb.label("$LOOP")
+    x = kb.add(x, kb.imm(1.0, PTXType.F32))
+    p = kb.setp("lt", x, kb.imm(100.0, PTXType.F32))
+    kb.bra("$LOOP", guard=p)
+    kb.ret()
+    return kb
+
+
+class TestBlocks:
+    def test_straight_line_is_one_block(self):
+        kb = KernelBuilder("straight")
+        v = kb.mov(kb.imm(1.0, PTXType.F64))
+        kb.add(v, v)
+        kb.ret()
+        cfg = build_cfg(kb.instructions)
+        assert len(cfg.blocks) == 1
+        assert cfg.blocks[0].successors == []
+
+    def test_diamond_shape(self):
+        cfg = build_cfg(_diamond().instructions)
+        assert len(cfg.blocks) == 4
+        entry, then, els, join = cfg.blocks
+        # entry branches to else and falls through to then
+        assert set(entry.successors) == {then.index, els.index}
+        assert then.successors == [join.index]
+        assert els.successors == [join.index]
+        assert set(join.predecessors) == {then.index, els.index}
+        assert els.label == "$ELSE"
+        assert join.label == "$JOIN"
+
+    def test_unconditional_branch_does_not_fall_through(self):
+        cfg = build_cfg(_diamond().instructions)
+        then = cfg.blocks[1]          # ends in unguarded `bra $JOIN`
+        assert then.successors == [3]  # only the branch target
+
+    def test_block_of(self):
+        kb = _diamond()
+        cfg = build_cfg(kb.instructions)
+        for blk in cfg.blocks:
+            for i in range(blk.start, blk.stop):
+                assert cfg.block_of(i) == blk.index
+
+    def test_loop_back_edge(self):
+        cfg = build_cfg(_loop().instructions)
+        body = next(b for b in cfg.blocks if b.label == "$LOOP")
+        assert body.index in body.successors       # back edge
+        assert body.index + 1 in body.successors   # guarded: falls through
+
+
+class TestReachability:
+    def test_code_after_unconditional_branch_is_unreachable(self):
+        kb = KernelBuilder("dead")
+        kb.bra("$END")
+        kb.mov(kb.imm(1.0, PTXType.F64))   # dead
+        kb.label("$END")
+        kb.ret()
+        cfg = build_cfg(kb.instructions)
+        dead = cfg.block_of(1)
+        assert dead not in cfg.reachable()
+
+    def test_rpo_starts_at_entry_ends_at_exit(self):
+        cfg = build_cfg(_diamond().instructions)
+        order = cfg.rpo()
+        assert order[0] == cfg.entry
+        assert order[-1] == 3              # the join block
+        assert len(order) == 4
+
+
+class TestDominators:
+    def test_diamond(self):
+        cfg = build_cfg(_diamond().instructions)
+        dom = cfg.dominators()
+        entry, then, els, join = range(4)
+        assert dom[entry] == {entry}
+        assert dom[then] == {entry, then}
+        assert dom[els] == {entry, els}
+        # neither arm dominates the join; only the entry does
+        assert dom[join] == {entry, join}
+
+    def test_loop_header_dominates_body(self):
+        cfg = build_cfg(_loop().instructions)
+        dom = cfg.dominators()
+        body = next(b.index for b in cfg.blocks if b.label == "$LOOP")
+        exit_b = body + 1
+        assert body in dom[exit_b]
+
+
+class _ReachingConsts(DataflowAnalysis):
+    """Toy forward may-analysis: labels of blocks executed so far."""
+
+    direction = "forward"
+
+    def transfer(self, block, instructions, fact):
+        return fact | {block.index}
+
+
+class TestSolver:
+    def test_forward_union(self):
+        cfg = build_cfg(_diamond().instructions)
+        inputs, outputs = solve(cfg, _ReachingConsts())
+        # at the join, both arms' facts merge
+        assert inputs[3] == {0, 1, 2}
+        assert outputs[3] == {0, 1, 2, 3}
+
+    def test_loop_reaches_fixpoint(self):
+        cfg = build_cfg(_loop().instructions)
+        inputs, outputs = solve(cfg, _ReachingConsts())
+        body = next(b.index for b in cfg.blocks if b.label == "$LOOP")
+        # the back edge feeds the body's own fact into its input
+        assert body in inputs[body]
+
+
+class TestLivenessLoops:
+    def test_back_edge_extends_liveness(self):
+        """Values used at a loop's top are live through its whole body.
+
+        A linear backward sweep would let ``keep`` die right after its
+        (textually early) use, underreporting the pressure inside the
+        temp-heavy tail of the body; the CFG fixpoint carries it
+        around the back edge.
+        """
+
+        def build(with_back_edge: bool) -> int:
+            kb = KernelBuilder("loop")
+            keep = [kb.mov(kb.imm(float(k), PTXType.F64))
+                    for k in range(8)]                    # 16 slots
+            kb.label("$LOOP")
+            acc = keep[0]
+            for k in keep[1:]:
+                acc = kb.add(acc, k)                      # use at loop top
+            vals = [kb.mov(kb.imm(float(k), PTXType.F32))
+                    for k in range(20)]                   # temp pressure
+            t = vals[0]
+            for v in vals[1:]:
+                t = kb.add(t, v)
+            p = kb.setp("lt", t, kb.imm(100.0, PTXType.F32))
+            if with_back_edge:
+                kb.bra("$LOOP", guard=p)
+            kb.ret()
+            return max_live_registers(kb.instructions)
+
+        straight = build(with_back_edge=False)
+        looped = build(with_back_edge=True)
+        # the 8 f64 keeps (16 slots) must stay live through the temps
+        assert looped >= straight + 14

@@ -1,12 +1,9 @@
 """Unit tests for the PTX ISA definitions."""
 
-import pytest
-
 from repro.ptx.isa import (
     Immediate,
     Instruction,
     KernelInfo,
-    Param,
     PTXType,
     Register,
     Special,

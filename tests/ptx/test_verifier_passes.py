@@ -1,0 +1,217 @@
+"""Tests for the verifier pass pipeline (multi-diagnostic, CFG-aware)."""
+
+import pytest
+
+from repro.diagnostics import Severity
+from repro.ptx import (
+    KernelBuilder,
+    PTXModule,
+    PTXType,
+    PTXVerificationError,
+    run_passes,
+    verify,
+)
+from repro.ptx.builder import _ParamRef
+from repro.ptx.isa import Immediate, Instruction
+
+
+def _by_pass(diagnostics, name):
+    return [d for d in diagnostics if d.pass_name == name]
+
+
+def _one_armed_def():
+    """``x`` is written on the fall-through arm only, then read after
+    the join — textually def-before-use, but not on every path."""
+    kb = KernelBuilder("onearm")
+    pn = kb.add_param("p_n", PTXType.S32)
+    n = kb.ld_param(pn)
+    gid = kb.global_thread_id()
+    p = kb.setp("ge", gid, n)
+    kb.bra("$SKIP", guard=p)
+    x = kb.new_reg(PTXType.F64)
+    kb.emit(Instruction("mov", PTXType.F64, x,
+                        (Immediate(1.0, PTXType.F64),)))
+    kb.label("$SKIP")
+    y = kb.new_reg(PTXType.F64)
+    kb.emit(Instruction("add", PTXType.F64, y, (x, x)))
+    kb.ret()
+    return PTXModule.from_builder(kb)
+
+
+class TestDefiniteAssignment:
+    def test_one_armed_definition_caught(self):
+        diagnostics = run_passes(_one_armed_def())
+        found = _by_pass(diagnostics, "definite-assignment")
+        assert len(found) == 1
+        assert found[0].severity == Severity.ERROR
+        assert "undefined register" in found[0].message
+
+    def test_one_armed_definition_raises(self):
+        with pytest.raises(PTXVerificationError, match="undefined register"):
+            verify(_one_armed_def())
+
+    def test_both_arms_defined_is_clean(self):
+        kb = KernelBuilder("botharms")
+        pn = kb.add_param("p_n", PTXType.S32)
+        n = kb.ld_param(pn)
+        gid = kb.global_thread_id()
+        p = kb.setp("ge", gid, n)
+        x = kb.new_reg(PTXType.F64)
+        kb.bra("$ELSE", guard=p)
+        kb.emit(Instruction("mov", PTXType.F64, x,
+                            (Immediate(1.0, PTXType.F64),)))
+        kb.bra("$JOIN")
+        kb.label("$ELSE")
+        kb.emit(Instruction("mov", PTXType.F64, x,
+                            (Immediate(2.0, PTXType.F64),)))
+        kb.label("$JOIN")
+        y = kb.new_reg(PTXType.F64)
+        kb.emit(Instruction("add", PTXType.F64, y, (x, x)))
+        kb.ret()
+        diagnostics = run_passes(PTXModule.from_builder(kb))
+        assert not _by_pass(diagnostics, "definite-assignment")
+
+
+class TestMultiDiagnostic:
+    def test_all_violations_collected(self):
+        """The pipeline reports every problem, not just the first."""
+        from repro.ptx.isa import Register
+
+        kb = KernelBuilder("manybad")
+        ghost = Register(PTXType.F64, 99)
+        a = kb.new_reg(PTXType.F64)
+        kb.emit(Instruction("add", PTXType.F64, a, (ghost, ghost)))
+        f32 = kb.mov(kb.imm(1.0, PTXType.F32))
+        b = kb.new_reg(PTXType.F64)
+        kb.emit(Instruction("add", PTXType.F64, b, (f32, f32)))  # type err
+        kb.ret()
+        diagnostics = run_passes(PTXModule.from_builder(kb))
+        assert _by_pass(diagnostics, "definite-assignment")
+        assert _by_pass(diagnostics, "operands")
+        with pytest.raises(PTXVerificationError) as exc:
+            verify(PTXModule.from_builder(kb))
+        assert len(exc.value.diagnostics) >= 2
+
+
+class TestUnreachableCode:
+    def test_dead_code_flagged_as_warning(self):
+        kb = KernelBuilder("dead")
+        kb.bra("$END")
+        kb.mov(kb.imm(1.0, PTXType.F64))   # unreachable
+        kb.label("$END")
+        kb.ret()
+        diagnostics = run_passes(PTXModule.from_builder(kb))
+        found = _by_pass(diagnostics, "unreachable-code")
+        assert len(found) == 1
+        assert found[0].severity == Severity.WARNING
+        verify(PTXModule.from_builder(kb))  # warning: must not raise
+
+
+class TestReturnPaths:
+    def test_guarded_ret_only_is_an_error(self):
+        kb = KernelBuilder("maybe_ret")
+        gid = kb.global_thread_id()
+        p = kb.setp("ge", gid, kb.imm(0, PTXType.S32))
+        kb.emit(Instruction("ret", None, None, (), guard=p))
+        diagnostics = run_passes(PTXModule.from_builder(kb))
+        found = _by_pass(diagnostics, "return-paths")
+        assert found and found[0].severity == Severity.ERROR
+
+    def test_infinite_loop_is_an_error(self):
+        kb = KernelBuilder("spin")
+        kb.label("$LOOP")
+        kb.bra("$LOOP")
+        diagnostics = run_passes(PTXModule.from_builder(kb))
+        found = _by_pass(diagnostics, "return-paths")
+        assert found and "not return" in found[0].message
+
+    def test_normal_kernel_is_clean(self):
+        kb = KernelBuilder("fine")
+        kb.mov(kb.imm(1.0, PTXType.F64))
+        kb.ret()
+        assert not _by_pass(run_passes(PTXModule.from_builder(kb)),
+                            "return-paths")
+
+
+class TestBoundsGuard:
+    def _guarded(self):
+        kb = KernelBuilder("guarded")
+        pn = kb.add_param("p_n", PTXType.S32)
+        px = kb.add_param("p_x", PTXType.U64, is_pointer=True)
+        n = kb.ld_param(pn)
+        x = kb.ld_param(px)
+        gid = kb.global_thread_id()
+        oob = kb.setp("ge", gid, n)
+        kb.bra("$EXIT", guard=oob)
+        kb.ld_global(x, PTXType.F64)
+        kb.label("$EXIT")
+        kb.ret()
+        return PTXModule.from_builder(kb)
+
+    def _unguarded(self):
+        kb = KernelBuilder("unguarded")
+        px = kb.add_param("p_x", PTXType.U64, is_pointer=True)
+        x = kb.ld_param(px)
+        kb.ld_global(x, PTXType.F64)
+        kb.ret()
+        return PTXModule.from_builder(kb)
+
+    def test_guard_dominated_access_is_clean(self):
+        assert not _by_pass(run_passes(self._guarded()), "bounds-guard")
+
+    def test_unguarded_access_warns_but_does_not_raise(self):
+        diagnostics = run_passes(self._unguarded())
+        found = _by_pass(diagnostics, "bounds-guard")
+        assert len(found) == 1
+        assert found[0].severity == Severity.WARNING
+        verify(self._unguarded())   # warnings never raise
+
+    def test_predicated_access_counts_as_guarded(self):
+        kb = KernelBuilder("pred")
+        pn = kb.add_param("p_n", PTXType.S32)
+        px = kb.add_param("p_x", PTXType.U64, is_pointer=True)
+        n = kb.ld_param(pn)
+        x = kb.ld_param(px)
+        gid = kb.global_thread_id()
+        ok = kb.setp("lt", gid, n)
+        dst = kb.new_reg(PTXType.F64)
+        kb.emit(Instruction("ld.global", PTXType.F64, dst, (x,), guard=ok))
+        kb.ret()
+        assert not _by_pass(run_passes(PTXModule.from_builder(kb)),
+                            "bounds-guard")
+
+
+class TestLdParamTypes:
+    def test_type_mismatch_caught(self):
+        kb = KernelBuilder("badld")
+        kb.add_param("p_n", PTXType.S32)
+        dst = kb.new_reg(PTXType.F64)
+        kb.emit(Instruction("ld.param", PTXType.F64, dst,
+                            (_ParamRef("p_n"),)))
+        kb.ret()
+        diagnostics = run_passes(PTXModule.from_builder(kb))
+        found = [d for d in _by_pass(diagnostics, "operands")
+                 if "ld.param type mismatch" in d.message]
+        assert found and found[0].severity == Severity.ERROR
+
+    def test_matching_type_is_clean(self):
+        kb = KernelBuilder("okld")
+        pn = kb.add_param("p_n", PTXType.S32)
+        kb.ld_param(pn)
+        kb.ret()
+        diagnostics = run_passes(PTXModule.from_builder(kb))
+        assert not [d for d in diagnostics if "ld.param" in d.message]
+
+
+class TestPipeline:
+    def test_pass_registry_names(self):
+        from repro.ptx.verifier import PASSES
+
+        assert set(PASSES) == {"operands", "definite-assignment",
+                               "unreachable-code", "return-paths",
+                               "bounds-guard"}
+
+    def test_pass_subset_selection(self):
+        module = _one_armed_def()
+        only = run_passes(module, passes=["unreachable-code"])
+        assert not _by_pass(only, "definite-assignment")

@@ -4,8 +4,8 @@ import numpy as np
 import pytest
 
 from repro.core.reduction import innerProduct, norm2
-from repro.qcd.dslash import WilsonDslash, dslash_expr
-from repro.qcd.gamma import GAMMA, GAMMA5, projector
+from repro.qcd.dslash import WilsonDslash
+from repro.qcd.gamma import GAMMA, projector
 from repro.qcd.gauge import unit_gauge, weak_gauge
 from repro.qcd.wilson import EvenOddWilsonOperator, WilsonOperator, WilsonParams
 from repro.qdp.fields import latt_fermion
@@ -92,7 +92,6 @@ class TestDslash:
         WilsonDslash(u, coeffs=[1.0, 1.0, 1.0, 2.5])(aniso, psi)
         # difference must equal 1.5x the t-direction hop
         t_only = latt_fermion(lat4)
-        expr = dslash_expr(u, psi, coeffs=None)
         # build the t-hop alone
         from repro.core.expr import adj, shift
         from repro.qcd.gamma import projector_const

@@ -1,10 +1,9 @@
 """Tests for the gamma algebra and SU(3) utilities."""
 
 import numpy as np
-import pytest
 
 from repro.qcd import su3
-from repro.qcd.gamma import GAMMA, GAMMA5, IDENTITY, gamma, projector, sigma
+from repro.qcd.gamma import GAMMA, GAMMA5, IDENTITY, projector, sigma
 
 
 class TestCliffordAlgebra:

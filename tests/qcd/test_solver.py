@@ -1,6 +1,5 @@
 """Tests for the Krylov solvers (CG, BiCGStab, multi-shift CG)."""
 
-import numpy as np
 import pytest
 
 from repro.core.reduction import norm2
@@ -56,6 +55,7 @@ class TestCG:
         x = latt_fermion(lat4)
         res1 = cg(lambda d, s: m.apply_mdagm(d, s), x, b,
                   tol=1e-9, max_iter=500)
+        assert res1.converged
         res2 = cg(lambda d, s: m.apply_mdagm(d, s), x, b,
                   tol=1e-9, max_iter=500)
         assert res2.iterations <= 2

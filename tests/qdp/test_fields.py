@@ -7,12 +7,11 @@ from repro.qdp.fields import (
     LatticeField,
     gauge_field,
     latt_color_matrix,
-    latt_complex,
     latt_fermion,
     latt_real,
     multi1d,
 )
-from repro.qdp.typesys import fermion, scalar_complex
+from repro.qdp.typesys import scalar_complex
 
 
 class TestConstruction:

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.qdp.lattice import BACKWARD, FORWARD, Lattice, Subset
+from repro.qdp.lattice import BACKWARD, FORWARD, Lattice
 
 
 class TestGeometry:

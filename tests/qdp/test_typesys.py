@@ -1,6 +1,5 @@
 """Tests for the nested type system (paper Table I) and SoA layout."""
 
-import numpy as np
 import pytest
 
 from repro.qdp.typesys import (

@@ -1,0 +1,49 @@
+"""In-process tests of the ``python -m repro.lint`` CLI."""
+
+import pytest
+
+from repro.lint import main
+
+
+@pytest.fixture(scope="module")
+def run(ctx):
+    """One CLI run over the suite on a tiny lattice (kernels are
+    lattice-size independent, so 2^4 keeps field setup cheap)."""
+    import io
+    from contextlib import redirect_stdout
+
+    buf = io.StringIO()
+    with redirect_stdout(buf):
+        status = main(["--lattice", "2,2,2,2"])
+    return status, buf.getvalue()
+
+
+class TestCLI:
+    def test_exit_status_clean(self, run):
+        status, _ = run
+        assert status == 0
+
+    def test_reports_every_pass_name(self, run):
+        _, out = run
+        for name in ("operands", "definite-assignment", "unreachable-code",
+                     "return-paths", "bounds-guard"):
+            assert name in out
+        for name in ("shift-alias", "shift-antiparallel",
+                     "lattice-conformance", "shift-materialization"):
+            assert name in out
+
+    def test_covers_the_kernel_families(self, run):
+        _, out = run
+        assert "eval_" in out          # expression kernels (dslash, clover)
+        assert "red_" in out           # reduction kernels
+        assert "gather_w" in out       # face copies
+        assert "scatter_w" in out
+
+    def test_dslash_stencil_findings_surface(self, run):
+        _, out = run
+        assert "shift-antiparallel" in out
+        assert "ok:" in out
+
+    def test_bad_lattice_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["--lattice", "nope"])

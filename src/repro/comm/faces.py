@@ -92,6 +92,30 @@ def _emit_copy_body(kb: KernelBuilder, p_lo, p_n, p_sites, p_dst, p_src,
     kb.ret()
 
 
+def face_env(kind: str, words_per_site: int, precision: str,
+             nsites: int, face_sites):
+    """Launch env for a gather/scatter kernel bound to one face.
+
+    ``face_sites`` is the int32 site list that will be bound to
+    ``p_sites`` — its content range bounds the field-side accesses,
+    and its bulk stride decides whether they coalesce (faces normal
+    to the slowest direction are contiguous site runs; the paper
+    splits the lattice in t for exactly this reason).
+    """
+    from ..ptx.absint import KernelEnv, MemRegion, table_region
+
+    wb = _FT[precision].nbytes
+    nface = len(face_sites)
+    field = MemRegion("p_dst" if kind == "scatter" else "p_src",
+                      words_per_site * nsites * wb)
+    buf = MemRegion("p_src" if kind == "scatter" else "p_dst",
+                    words_per_site * nface * wb)
+    return KernelEnv(
+        scalars={"p_lo": nsites, "p_n": nface},
+        regions={"p_sites": table_region("p_sites", face_sites),
+                 field.param: field, buf.param: buf})
+
+
 class FaceKernels:
     """Per-context cache of compiled gather/scatter kernels."""
 

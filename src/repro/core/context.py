@@ -41,6 +41,10 @@ class Context:
         self.default_block_size = default_block_size
         #: structural expression signature -> (PTXModule, plan, compiled)
         self.module_cache: dict[str, object] = {}
+        #: kernel name -> ptx.absint.KernelEnv covering every launch
+        #: binding seen so far (widened across launches); feeds the
+        #: abstract-interpretation verifier passes and repro.lint
+        self.analysis_envs: dict[str, object] = {}
         self.stats = ContextStats()
         #: uploaded int32 tables (shift maps, subset site lists):
         #: key -> (addr, length)

@@ -23,6 +23,7 @@ from typing import TYPE_CHECKING
 
 from ..device.memmodel import KernelCost
 from ..diagnostics import verify_mode
+from ..ptx.absint import KernelEnv, MemRegion, merge_envs, table_region
 from ..ptx.verifier import verify
 from .codegen import build_expression_kernel
 from .lint import check_assignment
@@ -125,13 +126,15 @@ def evaluate(dest, expr, subset: "Subset | None" = None,
     subset_mode = not subset.is_full
     key = f"{sig}->{_spec_sig(dest.spec)}|{'sub' if subset_mode else 'full'}"
 
+    env = _analysis_env(lattice, subset, subset_mode, slots, dest.spec)
+
     entry = ctx.module_cache.get(key)
     if entry is None:
         name = "eval_" + hashlib.sha256(key.encode()).hexdigest()[:12]
         module, plan = build_expression_kernel(name, expr, dest.spec,
                                                subset_mode)
         if mode != "off":
-            verify(module)
+            verify(module, env=env)
         compiled, was_cached = ctx.kernel_cache.get_or_compile(module.render())
         if not was_cached:
             ctx.device.charge_jit(compiled.modeled_compile_seconds)
@@ -139,6 +142,9 @@ def evaluate(dest, expr, subset: "Subset | None" = None,
         entry = (module, plan, compiled)
         ctx.module_cache[key] = entry
     module, plan, compiled = entry
+    prev = ctx.analysis_envs.get(module.name)
+    ctx.analysis_envs[module.name] = (env if prev is None
+                                      else merge_envs(prev, env))
 
     # -- automated memory management: page in the AST's leaves ----------
     fields = slots.fields
@@ -183,6 +189,27 @@ def evaluate(dest, expr, subset: "Subset | None" = None,
     ctx.field_cache.mark_device_dirty(dest)
     ctx.stats.expressions_evaluated += 1
     return cost
+
+
+def _analysis_env(lattice, subset, subset_mode: bool, slots,
+                  dest_spec) -> KernelEnv:
+    """Launch-time facts for the abstract-interpretation verifier:
+    what the parameter binding below will actually provide — exact
+    site counts, field view sizes, and the content range / bulk
+    stride of every gather table."""
+    nsites = lattice.nsites
+    regions = {
+        "p_dst": MemRegion("p_dst", nsites * dest_spec.bytes_per_site)}
+    for i, f in enumerate(slots.fields):
+        regions[f"p_f{i}"] = MemRegion(f"p_f{i}",
+                                       nsites * f.spec.bytes_per_site)
+    for i, (mu, sign) in enumerate(slots.shifts):
+        regions[f"p_sh{i}"] = table_region(f"p_sh{i}",
+                                           lattice.shift_map(mu, sign))
+    if subset_mode:
+        regions["p_stab"] = table_region("p_stab", subset.sites)
+    return KernelEnv(scalars={"p_lo": nsites, "p_n": len(subset)},
+                     regions=regions)
 
 
 def _shift_table(ctx: Context, lattice, mu: int, sign: int) -> int:

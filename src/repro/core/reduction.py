@@ -11,9 +11,10 @@ from __future__ import annotations
 
 import hashlib
 
-
+from dataclasses import replace as dc_replace
 from typing import TYPE_CHECKING
 
+from ..ptx.absint import MemRegion, merge_envs
 from ..ptx.builder import KernelBuilder
 from ..ptx.isa import Immediate, PTXType
 from ..ptx.module import PTXModule
@@ -23,7 +24,7 @@ from .codegen import CVal, Unparser
 if TYPE_CHECKING:
     from ..qdp.lattice import Subset
 from .context import Context
-from .evaluator import _normalize, _shift_table
+from .evaluator import _analysis_env, _normalize, _shift_table
 from .expr import Expr, ExprTypeError, FieldRef, SlotAssigner, as_expr
 
 
@@ -160,12 +161,24 @@ def _reduce(kind: str, exprs: list[Expr], subset: Subset | None,
     sigs = ",".join(e.signature(slots) for e in exprs)
     subset_mode = not subset.is_full
     key = f"red:{kind}({sigs})|{'sub' if subset_mode else 'full'}"
+
+    # launch env for the analysis passes: the expression env minus the
+    # destination field, plus the f64 partials buffer(s)
+    env = _analysis_env(lattice, subset, subset_mode, slots,
+                        exprs[0].spec)
+    regions = dict(env.regions)
+    del regions["p_dst"]
+    regions["p_out_re"] = MemRegion("p_out_re", len(subset) * 8)
+    if kind in ("sum", "inner"):
+        regions["p_out_im"] = MemRegion("p_out_im", len(subset) * 8)
+    env = dc_replace(env, regions=regions)
+
     entry = ctx.module_cache.get(key)
     if entry is None:
         name = "red_" + hashlib.sha256(key.encode()).hexdigest()[:12]
         module = _build_reduction_kernel(name, kind, exprs, slots,
                                          subset_mode)
-        verify(module)
+        verify(module, env=env)
         compiled, was_cached = ctx.kernel_cache.get_or_compile(module.render())
         if not was_cached:
             ctx.device.charge_jit(compiled.modeled_compile_seconds)
@@ -173,6 +186,9 @@ def _reduce(kind: str, exprs: list[Expr], subset: Subset | None,
         entry = (module, compiled)
         ctx.module_cache[key] = entry
     module, compiled = entry
+    prev = ctx.analysis_envs.get(module.name)
+    ctx.analysis_envs[module.name] = (env if prev is None
+                                      else merge_envs(prev, env))
 
     n_active = len(subset)
     complex_out = kind in ("sum", "inner")

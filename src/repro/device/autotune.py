@@ -8,6 +8,14 @@ sizes until the execution time increases significantly (the paper
 arbitrarily uses 33%); the best configuration seen is then used for
 all subsequent launches.  No kernels are launched solely for tuning —
 tuning rides on the payload launches.
+
+One improvement over the paper's discover-by-failure start: the JIT
+knows each kernel's register pressure statically (CFG-fixpoint
+liveness), so :func:`static_block_seed` skips the block sizes the SM
+register file provably rejects and the probe starts at the first
+launchable size — a register-hungry kernel begins at e.g. 256 instead
+of burning failed launches at 1024 and 512.  Launch failure handling
+is kept as the safety net for anything the static bound misses.
 """
 
 from __future__ import annotations
@@ -26,6 +34,26 @@ SLOWDOWN_THRESHOLD = 1.33
 
 #: Smallest block size probed (one warp).
 MIN_BLOCK = 32
+
+
+def static_block_seed(spec, regs_per_thread: int | None) -> int:
+    """Largest halving-series block size the register file provably
+    admits: the static occupancy bound.
+
+    The paper's tuner starts at the device maximum and discovers the
+    register limit by failed launches.  Register pressure is known
+    statically (:func:`repro.ptx.liveness.max_live_registers` via the
+    JIT), so the failing prefix of the halving series can be skipped
+    outright: seed at the largest ``max_threads_per_block / 2^k``
+    whose ``regs_per_thread * block`` fits the SM register file
+    (mirroring the check in :func:`repro.device.memmodel.blocks_per_sm`).
+    """
+    bs = spec.max_threads_per_block
+    if regs_per_thread is None:
+        return bs
+    while bs > MIN_BLOCK and regs_per_thread * bs > spec.regs_per_sm:
+        bs //= 2
+    return bs
 
 
 class Phase(enum.Enum):
@@ -59,10 +87,12 @@ class Autotuner:
         self.device = device
         self.states: dict[str, TunerState] = {}
 
-    def state(self, kernel_name: str) -> TunerState:
+    def state(self, kernel_name: str,
+              regs_per_thread: int | None = None) -> TunerState:
         st = self.states.get(kernel_name)
         if st is None:
-            st = TunerState(next_block=self.device.spec.max_threads_per_block)
+            st = TunerState(next_block=static_block_seed(
+                self.device.spec, regs_per_thread))
             self.states[kernel_name] = st
         return st
 
@@ -75,7 +105,8 @@ class Autotuner:
         payload.  Raises :class:`LaunchError` only if no block size
         down to one warp can launch.
         """
-        st = self.state(kernel.name)
+        st = self.state(kernel.name,
+                        getattr(kernel, "regs_per_thread", None))
         while True:
             bs = st.block_size
             try:

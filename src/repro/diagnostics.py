@@ -71,16 +71,33 @@ def max_severity(diagnostics) -> Severity | None:
 
 VERIFY_MODES = ("off", "warn", "error")
 
+#: Bad ``REPRO_VERIFY`` values already warned about (warn once per
+#: distinct value, not once per kernel build).
+_warned_verify_values: set[str] = set()
+
 
 def verify_mode(default: str = "error") -> str:
     """The current strictness mode from the ``REPRO_VERIFY`` knob.
 
-    Unrecognized values fall back to the default rather than raising:
-    a typo in an environment variable must not make every kernel
-    build unreproducibly strict or lax.
+    Unrecognized values fall back to the default rather than raising —
+    a typo in an environment variable must not make every kernel build
+    unreproducibly strict or lax — but the fallback is *announced*: a
+    one-time warning names the bad value and the accepted set, so a
+    misspelled ``REPRO_VERIFY=of`` is not silently ignored.
     """
-    mode = os.environ.get("REPRO_VERIFY", default).strip().lower()
-    return mode if mode in VERIFY_MODES else default
+    raw = os.environ.get("REPRO_VERIFY")
+    if raw is None:
+        return default
+    mode = raw.strip().lower()
+    if mode in VERIFY_MODES:
+        return mode
+    if raw not in _warned_verify_values:
+        _warned_verify_values.add(raw)
+        warnings.warn(
+            f"ignoring unrecognized REPRO_VERIFY={raw!r}: accepted "
+            f"values are {', '.join(VERIFY_MODES)}; using "
+            f"{default!r}", RuntimeWarning, stacklevel=3)
+    return default
 
 
 def emit_warnings(diagnostics, stacklevel: int = 3,

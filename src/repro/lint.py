@@ -8,13 +8,71 @@ gather/scatter copies — and runs the full PTX verifier pass pipeline
 expression-AST lint (:mod:`repro.core.lint`) over the operators'
 defining expressions.
 
-Exit status is 0 when no error-severity diagnostic is found, 1
-otherwise — suitable as a CI gate next to the test suite.
+Each kernel is analyzed under the :class:`~repro.ptx.absint.KernelEnv`
+recorded at build time (``Context.analysis_envs``) — actual region
+sizes, scalar parameter values, and gather-table contents — so the
+report states *proven* facts per kernel: bounds verdicts,
+transactions/warp and memory efficiency from the coalescing model,
+divergent branches, register pressure, and the static occupancy seed
+the auto-tuner starts from.
+
+``--json`` emits the same report as a single JSON document (schema
+below) for CI consumption.
+
+Exit status:
+
+``0``
+    No error-severity diagnostic found.
+``1``
+    At least one error-severity diagnostic.
+``2``
+    Usage error (bad command line), per argparse convention.
+
+JSON schema (``schema_version`` 1)::
+
+    {
+      "schema_version": 1,
+      "lattice": [int, ...],
+      "passes": [str, ...],            # PTX verifier pass names
+      "ast_passes": [str, ...],        # expression-AST lint pass names
+      "kernels": [
+        {
+          "name": str,
+          "instructions": int,
+          "regs_per_thread": int,
+          "static_block_seed": int,    # auto-tuner starting block
+          "bounds": {
+            "verdicts": {str: int},    # proven/oob/guarded/unguarded
+            "proven": bool,            # every access proven in-bounds
+            "heuristic_fallbacks": int
+          },
+          "coalescing": {
+            "transactions_per_warp": float,
+            "ideal_transactions_per_warp": float,
+            "memory_efficiency": float,
+            "fully_coalesced": bool
+          },
+          "divergence": {"branches": int, "divergent": int},
+          "diagnostics": [
+            {"severity": str, "pass": str, "message": str,
+             "location": str}, ...
+          ]
+        }, ...
+      ],
+      "ast_findings": [ same shape as "diagnostics" entries ],
+      "summary": {
+        "kernels": int, "diagnostics": int,
+        "errors": int, "warnings": int, "notes": int,
+        "worst": str | null,           # "note"/"warning"/"error"
+        "status": "ok" | "fail"
+      }
+    }
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import warnings
 
@@ -39,7 +97,7 @@ _parse_dims.__name__ = "lattice"   # argparse error messages use the name
 
 
 def _build_kernel_suite(dims: tuple[int, ...]):
-    """Run the built-in operators once; return (ctx, ast_lint_findings).
+    """Run the built-in operators once; return (ctx, lat, ast_findings).
 
     Every kernel built along the way lands in ``ctx.module_cache``
     (and the face copies are built explicitly), so afterwards the
@@ -86,14 +144,74 @@ def _build_kernel_suite(dims: tuple[int, ...]):
     # no destination aliasing is expected, so findings are notes)
     ast_findings = lint_assignment(dest, dslash_expr(u, psi))
 
-    return ctx, ast_findings
+    return ctx, lat, ast_findings
 
 
-def _face_modules(precision: str = "f64"):
-    from .comm.faces import build_gather_kernel, build_scatter_kernel
+def _suite_modules(ctx, lat, precision: str = "f64"):
+    """(module, compiled, env) for every kernel the suite built, plus
+    the halo face copies bound to a t-face of the same lattice.
 
-    return [build_gather_kernel(24, precision),
-            build_scatter_kernel(24, precision)]
+    The face copies are analyzed against the face normal to the
+    slowest-varying (t) dimension — a contiguous site run, which is
+    the direction the paper splits the lattice in.
+    """
+    from .comm.faces import build_gather_kernel, build_scatter_kernel, face_env
+
+    out = []
+    for entry in ctx.module_cache.values():
+        module, compiled = entry[0], entry[-1]
+        out.append((module, compiled, ctx.analysis_envs.get(module.name)))
+
+    t_face = lat.face_sites(lat.nd - 1, +1)
+    for kind, build in (("gather", build_gather_kernel),
+                        ("scatter", build_scatter_kernel)):
+        module = build(24, precision)
+        compiled, _ = ctx.kernel_cache.get_or_compile(module.render())
+        env = face_env(kind, 24, precision, lat.nsites, t_face)
+        out.append((module, compiled, env))
+    return out
+
+
+def _diag_json(d) -> dict:
+    return {"severity": d.severity.label, "pass": d.pass_name,
+            "message": d.message, "location": d.location}
+
+
+def _kernel_report(module, compiled, env, spec):
+    """Analyze one kernel; return (facts-dict, diagnostics)."""
+    from .device.autotune import static_block_seed
+    from .ptx.absint import analyze_module
+
+    analysis = analyze_module(module, env=env)
+    diagnostics = run_passes(module, env=env, analysis=analysis)
+    regs = getattr(compiled, "regs_per_thread", None) or analysis.max_live_regs
+    verdicts: dict[str, int] = {}
+    for a in analysis.accesses:
+        verdicts[a.verdict] = verdicts.get(a.verdict, 0) + 1
+    record = {
+        "name": module.name,
+        "instructions": len(module.instructions),
+        "regs_per_thread": regs,
+        "static_block_seed": static_block_seed(spec, regs),
+        "bounds": {
+            "verdicts": verdicts,
+            "proven": analysis.bounds_proven,
+            "heuristic_fallbacks": analysis.n_heuristic,
+        },
+        "coalescing": {
+            "transactions_per_warp": analysis.transactions_per_warp,
+            "ideal_transactions_per_warp":
+                analysis.ideal_transactions_per_warp,
+            "memory_efficiency": analysis.memory_efficiency,
+            "fully_coalesced": analysis.fully_coalesced,
+        },
+        "divergence": {
+            "branches": len(analysis.branches),
+            "divergent": len(analysis.divergent_branches),
+        },
+        "diagnostics": [_diag_json(d) for d in diagnostics],
+    }
+    return record, diagnostics
 
 
 def _severity_counts(diagnostics) -> dict[Severity, int]:
@@ -103,64 +221,123 @@ def _severity_counts(diagnostics) -> dict[Severity, int]:
     return counts
 
 
+def _facts_line(record: dict) -> str:
+    b, c, v = record["bounds"], record["coalescing"], record["divergence"]
+    n_acc = sum(b["verdicts"].values())
+    if b["proven"]:
+        bounds = f"bounds proven ({n_acc}/{n_acc})"
+    else:
+        bounds = "bounds " + ",".join(
+            f"{n} {verdict}" for verdict, n in sorted(b["verdicts"].items()))
+    coal = (f"eff={c['memory_efficiency']:.2f} "
+            f"({c['transactions_per_warp']:.0f} tx/warp, "
+            f"ideal {c['ideal_transactions_per_warp']:.0f})")
+    div = f"{v['divergent']}/{v['branches']} divergent"
+    return (f"{bounds}; {coal}; {div}; "
+            f"{record['regs_per_thread']} regs -> "
+            f"block seed {record['static_block_seed']}")
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.lint",
         description="Verify the built-in kernel suite with the PTX "
-                    "pass pipeline and the expression-AST lint.")
+                    "pass pipeline and the expression-AST lint.  "
+                    "Exit status: 0 clean, 1 error-severity findings, "
+                    "2 usage error.")
     parser.add_argument("--lattice", type=_parse_dims, default=(4, 4, 4, 4),
                         metavar="X,Y,Z,T",
                         help="lattice extents (default 4,4,4,4)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the report as a JSON document "
+                             "(schema_version 1; see module docstring)")
     parser.add_argument("-v", "--verbose", action="store_true",
                         help="print every diagnostic, notes included")
     args = parser.parse_args(argv)
 
-    print(f"repro.lint: PTX verifier passes: {', '.join(PASSES)}")
-    print(f"repro.lint: AST lint passes:     {', '.join(LINT_PASSES)}")
-    print(f"repro.lint: building kernel suite on lattice "
-          f"{'x'.join(map(str, args.lattice))} ...")
+    text = not args.json
+    if text:
+        print(f"repro.lint: PTX verifier passes: {', '.join(PASSES)}")
+        print(f"repro.lint: AST lint passes:     {', '.join(LINT_PASSES)}")
+        print(f"repro.lint: building kernel suite on lattice "
+              f"{'x'.join(map(str, args.lattice))} ...")
 
     # The build itself runs under the REPRO_VERIFY hooks; anything the
     # hooks warn about is re-reported below, so keep the build quiet.
     with warnings.catch_warnings():
         warnings.simplefilter("ignore", RuntimeWarning)
-        ctx, ast_findings = _build_kernel_suite(args.lattice)
-        modules = [entry[0] for entry in ctx.module_cache.values()]
-        modules.extend(_face_modules())
+        ctx, lat, ast_findings = _build_kernel_suite(args.lattice)
+        suite = _suite_modules(ctx, lat)
 
     worst = Severity.NOTE
     n_diags = 0
-    print(f"\n-- PTX verifier: {len(modules)} kernel(s) "
-          f"x {len(PASSES)} passes " + "-" * 20)
-    for module in modules:
-        diagnostics = run_passes(module)
-        n_insts = len(module.instructions)
-        if not diagnostics:
-            print(f"  {module.name:<44} {n_insts:>6} insts  clean")
-            continue
+    counts_total = {s: 0 for s in Severity}
+    kernels = []
+    if text:
+        print(f"\n-- PTX verifier: {len(suite)} kernel(s) "
+              f"x {len(PASSES)} passes " + "-" * 20)
+    for module, compiled, env in suite:
+        record, diagnostics = _kernel_report(module, compiled, env,
+                                             ctx.device.spec)
+        kernels.append(record)
         n_diags += len(diagnostics)
         counts = _severity_counts(diagnostics)
-        worst = max(worst, max(d.severity for d in diagnostics))
-        summary = ", ".join(f"{counts[s]} {s.label}" for s in
-                            sorted(counts, reverse=True) if counts[s])
-        print(f"  {module.name:<44} {n_insts:>6} insts  {summary}")
+        for s, n in counts.items():
+            counts_total[s] += n
+        if diagnostics:
+            worst = max(worst, max(d.severity for d in diagnostics))
+        if not text:
+            continue
+        if diagnostics:
+            summary = ", ".join(f"{counts[s]} {s.label}" for s in
+                                sorted(counts, reverse=True) if counts[s])
+        else:
+            summary = "clean"
+        print(f"  {record['name']:<44} {record['instructions']:>6} insts"
+              f"  {summary}")
+        print(f"      {_facts_line(record)}")
         for d in diagnostics:
             if args.verbose or d.severity >= Severity.WARNING:
                 print(f"      {d.render()}")
 
-    print("\n-- AST lint: operator expressions " + "-" * 20)
-    if not ast_findings:
-        print("  dslash expression: clean")
+    if text:
+        print("\n-- AST lint: operator expressions " + "-" * 20)
+        if not ast_findings:
+            print("  dslash expression: clean")
     n_diags += len(ast_findings)
     for d in ast_findings:
         worst = max(worst, d.severity)
-        print(f"  {d.render()}")
+        counts_total[d.severity] += 1
+        if text:
+            print(f"  {d.render()}")
 
-    status = ("FAIL" if worst >= Severity.ERROR else "ok")
-    print(f"\nrepro.lint: {status}: {len(modules)} kernel(s) verified, "
-          f"{n_diags} diagnostic(s), worst severity "
-          f"{worst.label if n_diags else 'none'}")
-    return 1 if worst >= Severity.ERROR else 0
+    failed = worst >= Severity.ERROR
+    if text:
+        status = "FAIL" if failed else "ok"
+        print(f"\nrepro.lint: {status}: {len(suite)} kernel(s) verified, "
+              f"{n_diags} diagnostic(s), worst severity "
+              f"{worst.label if n_diags else 'none'}")
+    else:
+        report = {
+            "schema_version": 1,
+            "lattice": list(args.lattice),
+            "passes": list(PASSES),
+            "ast_passes": list(LINT_PASSES),
+            "kernels": kernels,
+            "ast_findings": [_diag_json(d) for d in ast_findings],
+            "summary": {
+                "kernels": len(suite),
+                "diagnostics": n_diags,
+                "errors": counts_total[Severity.ERROR],
+                "warnings": counts_total[Severity.WARNING],
+                "notes": counts_total[Severity.NOTE],
+                "worst": worst.label if n_diags else None,
+                "status": "fail" if failed else "ok",
+            },
+        }
+        json.dump(report, sys.stdout, indent=2)
+        print()
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

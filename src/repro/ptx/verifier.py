@@ -24,12 +24,21 @@ Passes:
     Blocks that no path from the entry reaches.
 ``return-paths``
     Every path from the entry ends in an unguarded ``ret``.
-``bounds-guard``
-    Memory safety: every ``ld.global``/``st.global`` executes under
-    the ``tid < nsites`` bounds check the code generators emit —
-    either dominated by the guard's fall-through block or itself
-    predicated.  Heuristic, hence warning severity: hand-written
-    kernels may establish safety by launch-geometry contract.
+``proven-bounds``
+    Memory safety by abstract interpretation
+    (:mod:`repro.ptx.absint`): every ``ld.global``/``st.global``
+    address is recovered as ``region + affine offset`` and checked
+    against the bound region's size.  Proven out-of-bounds accesses
+    are errors; accesses the engine cannot settle fall back to the
+    old guard-domination heuristic (warning when even that fails).
+``coalescing``
+    Warns on accesses with a known ``%tid.x`` stride whose 32-thread
+    warp span costs more memory transactions than the stride-1 SoA
+    layout.
+``divergence``
+    Warns on branches over thread-varying predicates (the warp
+    executes both sides serially); the generators' bounds early-exit
+    is recognized as benign.
 
 :func:`run_passes` returns the full diagnostics list;
 :func:`verify` raises :class:`PTXVerificationError` if any
@@ -38,6 +47,8 @@ kernel build paths).
 """
 
 from __future__ import annotations
+
+import math
 
 from ..diagnostics import Diagnostic, Severity, errors
 from .cfg import CFG, DataflowAnalysis, build_cfg, solve
@@ -260,82 +271,138 @@ def _check_return_paths(module: PTXModule, cfg: CFG) -> list[Diagnostic]:
     return out
 
 
-# --- pass: bounds guard (memory safety) ------------------------------------
+# --- passes over the abstract-interpretation facts --------------------------
 
-def _check_bounds_guard(module: PTXModule, cfg: CFG) -> list[Diagnostic]:
-    """Every global memory access must be under the bounds check.
+def _fmt_off(x: float) -> str:
+    if math.isinf(x):
+        return "-inf" if x < 0 else "+inf"
+    return str(int(x))
 
-    The code generators emit ``setp.ge %p, gid, n; @%p bra EXIT`` so
-    that every ``ld.global``/``st.global`` is *dominated* by the
-    guarded branch's fall-through block.  This pass recomputes that
-    property: an access is safe if a guard-established block
-    dominates it, or if the access itself is predicated on a
-    relational ``setp`` result.
+
+def _check_proven_bounds(module: PTXModule, cfg: CFG,
+                         analysis) -> list[Diagnostic]:
+    """Memory safety by abstract interpretation.
+
+    Every ``ld.global``/``st.global`` address is recovered as
+    ``region + affine offset`` and its interval compared against the
+    bound region's size (:mod:`repro.ptx.absint`).  A proven
+    out-of-bounds access is an *error*; an access the affine engine
+    cannot settle falls back to the old guard-domination heuristic and
+    warns only when even that fails (hand-written kernels may
+    establish safety by launch-geometry contract).
     """
-    mem_ops = [i for i in module.instructions
-               if i.opcode in ("ld.global", "st.global")]
-    if not mem_ops:
-        return []
-
-    # predicate registers produced by relational comparisons
-    relational = {_regkey(i.dst) for i in module.instructions
-                  if i.opcode == "setp" and i.dst is not None}
-
-    # blocks established by a guarded terminator branch (fall-through)
-    guard_blocks: set[int] = set()
-    for blk in cfg.blocks:
-        insts = blk.instructions(cfg.instructions)
-        if not insts:
-            continue
-        last = insts[-1]
-        if (last.opcode == "bra" and last.guard is not None
-                and _regkey(last.guard) in relational
-                and blk.index + 1 < len(cfg.blocks)):
-            guard_blocks.add(blk.index + 1)
-
-    dom = cfg.dominators()
     out: list[Diagnostic] = []
-    for pos, inst in enumerate(cfg.instructions):
-        if inst.opcode not in ("ld.global", "st.global"):
-            continue
-        if inst.guard is not None and _regkey(inst.guard) in relational:
-            continue
-        b = cfg.block_of(pos)
-        if guard_blocks & dom.get(b, set()):
-            continue
-        out.append(Diagnostic(
-            Severity.WARNING, "bounds-guard",
-            f"{inst.opcode} is not dominated by a thread bounds guard "
-            f"(out-of-range threads may access out of bounds)",
-            obj=module.name, location=inst.render()))
+    for a in analysis.accesses:
+        inst = cfg.instructions[a.pos]
+        if a.verdict == "oob":
+            region = analysis.env.regions.get(a.region)
+            out.append(Diagnostic(
+                Severity.ERROR, "proven-bounds",
+                f"proven out-of-bounds {a.opcode}: byte offset range "
+                f"[{_fmt_off(a.offset[0])}, {_fmt_off(a.offset[1])}] "
+                f"escapes region '{a.region}' of "
+                f"{region.size_bytes} bytes",
+                obj=module.name, location=inst.render()))
+        elif a.verdict == "unguarded":
+            out.append(Diagnostic(
+                Severity.WARNING, "proven-bounds",
+                f"{a.opcode} is not dominated by a thread bounds guard "
+                f"(out-of-range threads may access out of bounds)",
+                obj=module.name, location=inst.render()))
     return out
+
+
+def _check_coalescing(module: PTXModule, cfg: CFG,
+                      analysis) -> list[Diagnostic]:
+    """Warn on accesses proven *uncoalesced*: a known ``%tid.x``
+    stride whose warp span needs more memory transactions than the
+    stride-1 SoA layout would (unknown strides stay silent — they are
+    reported as facts by ``repro.lint``, not guessed at here)."""
+    out: list[Diagnostic] = []
+    for a in analysis.accesses:
+        if a.coalesced is False and not a.uniform:
+            stride = a.stride_bytes
+            s = int(stride) if float(stride).is_integer() else stride
+            out.append(Diagnostic(
+                Severity.WARNING, "coalescing",
+                f"uncoalesced {a.opcode}: %tid.x stride {s} bytes over "
+                f"{a.width}-byte elements costs "
+                f"{a.transactions:.0f} transactions/warp "
+                f"(ideal {a.ideal_transactions})",
+                obj=module.name, location=inst_render_safe(cfg, a.pos)))
+    return out
+
+
+def _check_divergence(module: PTXModule, cfg: CFG,
+                      analysis) -> list[Diagnostic]:
+    """Warn on branches whose predicate is thread-varying (the warp
+    serializes both sides).  The generators' bounds early-exit —
+    varying only in the last warp, with an empty taken side — is
+    recognized as benign and not flagged."""
+    out: list[Diagnostic] = []
+    for b in analysis.divergent_branches:
+        out.append(Diagnostic(
+            Severity.WARNING, "divergence",
+            "branch on thread-varying predicate diverges the warp "
+            "(both sides execute serially)",
+            obj=module.name, location=inst_render_safe(cfg, b.pos)))
+    return out
+
+
+def inst_render_safe(cfg: CFG, pos: int) -> str:
+    try:
+        return cfg.instructions[pos].render()
+    except Exception:
+        return f"@{pos}"
 
 
 # --- pipeline ---------------------------------------------------------------
 
-#: Ordered registry of verifier passes (name -> function).
+#: Ordered registry of verifier passes (name -> function).  Every pass
+#: takes ``(module, cfg, analysis)``; ``analysis`` is the kernel's
+#: :class:`~repro.ptx.absint.KernelAnalysis` and is only computed when
+#: a pass in ``ANALYSIS_PASSES`` is requested.
 PASSES = {
-    "operands": _check_operands,
-    "definite-assignment": _check_definite_assignment,
-    "unreachable-code": _check_unreachable,
-    "return-paths": _check_return_paths,
-    "bounds-guard": _check_bounds_guard,
+    "operands": lambda m, c, a: _check_operands(m, c),
+    "definite-assignment": lambda m, c, a: _check_definite_assignment(m, c),
+    "unreachable-code": lambda m, c, a: _check_unreachable(m, c),
+    "return-paths": lambda m, c, a: _check_return_paths(m, c),
+    "proven-bounds": _check_proven_bounds,
+    "coalescing": _check_coalescing,
+    "divergence": _check_divergence,
 }
 
+#: Passes that need the abstract interpretation to have run.
+ANALYSIS_PASSES = frozenset({"proven-bounds", "coalescing", "divergence"})
 
-def run_passes(module: PTXModule, passes=None) -> list[Diagnostic]:
-    """Run the verification pipeline; return *all* diagnostics found."""
+
+def run_passes(module: PTXModule, passes=None, env=None,
+               analysis=None) -> list[Diagnostic]:
+    """Run the verification pipeline; return *all* diagnostics found.
+
+    ``env`` is an optional :class:`~repro.ptx.absint.KernelEnv` with
+    launch-time facts (scalar parameter values, bound region sizes);
+    without it the analysis passes run under a generic env and only
+    claim what is provable for *any* launch.  A caller that already
+    holds the module's :class:`~repro.ptx.absint.KernelAnalysis` may
+    pass it as ``analysis`` to skip recomputation.
+    """
+    from .absint import analyze_module
+
     cfg = build_cfg(list(module.instructions))
+    names = list(passes if passes is not None else PASSES)
+    if analysis is None and any(n in ANALYSIS_PASSES for n in names):
+        analysis = analyze_module(module, env=env, cfg=cfg)
     out: list[Diagnostic] = []
-    for name in (passes if passes is not None else PASSES):
-        out.extend(PASSES[name](module, cfg))
+    for name in names:
+        out.extend(PASSES[name](module, cfg, analysis))
     return out
 
 
-def verify(module: PTXModule) -> None:
+def verify(module: PTXModule, env=None) -> None:
     """Verify ``module``; raise :class:`PTXVerificationError` listing
     every error-severity violation, return ``None`` if well-formed."""
-    diagnostics = run_passes(module)
+    diagnostics = run_passes(module, env=env)
     errs = errors(diagnostics)
     if errs:
         summary = "\n".join(f"{module.name}: {d.message}" for d in errs)

@@ -76,26 +76,71 @@ class TestAutotuner:
         times_at_best = [t for b, t in st.history if b == st.best_block]
         assert min(times_at_best) == best_seen
 
-    def test_halves_on_launch_failure(self):
-        """A register-hungry kernel cannot launch at 1024; the tuner
-        must halve until it fits, still on payload launches."""
+    def _fat_kernel_env(self):
         dev = Device()
         module = _streaming_kernel("fat_kernel")
         compiled = compile_ptx(module.render())
         # pretend the kernel needs 160 regs/thread:
         # 1024*160 and 512*160 exceed 64k; 256*160 = 40960 fits
-        object.__setattr__  # (CompiledKernel is a plain dataclass)
         compiled.regs_per_thread = 160
         n = 4096
         addr = dev.mem_alloc(n * 8)
         dev.memcpy_htod(addr, np.ones(n))
         params = {"p_n": n, "p_x": addr}
+        return dev, module, compiled, params, n
+
+    def test_halves_on_launch_failure(self):
+        """With the static seed disabled (state created before the
+        register pressure is known), a register-hungry kernel cannot
+        launch at 1024; the tuner must halve until it fits, still on
+        payload launches — the paper's original safety net."""
+        dev, module, compiled, params, n = self._fat_kernel_env()
         tuner = Autotuner(dev)
+        tuner.state(compiled.name)   # seeds at device max: regs unknown
         tuner.launch(compiled, module.info, params, n, "f64")
         st = tuner.state(compiled.name)
         assert st.failures >= 1
         assert max(b for b, _ in st.history) <= 256
         assert dev.stats.launch_failures >= 1
+
+    def test_static_seed_skips_unlaunchable_blocks(self):
+        """The static occupancy bound starts the probe at the first
+        block size the register file admits: no failed launches."""
+        from repro.device.autotune import static_block_seed
+
+        dev, module, compiled, params, n = self._fat_kernel_env()
+        seed = static_block_seed(dev.spec, compiled.regs_per_thread)
+        assert seed == 256                      # provably below 1024
+        tuner = Autotuner(dev)
+        tuner.launch(compiled, module.info, params, n, "f64")
+        st = tuner.state(compiled.name)
+        assert st.failures == 0
+        assert dev.stats.launch_failures == 0
+        assert max(b for b, _ in st.history) == 256
+
+    def test_static_seed_beats_halving_baseline(self):
+        """Fewer tuning launch attempts than halving-from-1024."""
+        def attempts_to_first_success(pre_seed_without_regs):
+            dev, module, compiled, params, n = self._fat_kernel_env()
+            tuner = Autotuner(dev)
+            if pre_seed_without_regs:
+                tuner.state(compiled.name)
+            tuner.launch(compiled, module.info, params, n, "f64")
+            return dev.stats.kernel_launches + dev.stats.launch_failures
+
+        baseline = attempts_to_first_success(True)    # 1024, 512, 256
+        seeded = attempts_to_first_success(False)     # 256 directly
+        assert seeded < baseline
+        assert seeded == 1 and baseline == 3
+
+    def test_static_seed_unconstrained_kernel_starts_at_max(self):
+        from repro.device.autotune import static_block_seed
+
+        dev = Device()
+        assert static_block_seed(dev.spec, 32) == \
+            dev.spec.max_threads_per_block
+        assert static_block_seed(dev.spec, None) == \
+            dev.spec.max_threads_per_block
 
     def test_results_correct_during_tuning(self, launch_env):
         dev, module, compiled, params, n = launch_env

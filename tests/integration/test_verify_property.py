@@ -68,4 +68,4 @@ def test_generated_kernels_verify_clean(flds, tree, subset_mode):
     diagnostics = run_passes(module)
     assert not errors(diagnostics), [d.render() for d in diagnostics]
     # the generator's tid < nsites guard must dominate every access
-    assert not [d for d in diagnostics if d.pass_name == "bounds-guard"]
+    assert not [d for d in diagnostics if d.pass_name == "proven-bounds"]

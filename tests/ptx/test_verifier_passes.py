@@ -157,11 +157,11 @@ class TestBoundsGuard:
         return PTXModule.from_builder(kb)
 
     def test_guard_dominated_access_is_clean(self):
-        assert not _by_pass(run_passes(self._guarded()), "bounds-guard")
+        assert not _by_pass(run_passes(self._guarded()), "proven-bounds")
 
     def test_unguarded_access_warns_but_does_not_raise(self):
         diagnostics = run_passes(self._unguarded())
-        found = _by_pass(diagnostics, "bounds-guard")
+        found = _by_pass(diagnostics, "proven-bounds")
         assert len(found) == 1
         assert found[0].severity == Severity.WARNING
         verify(self._unguarded())   # warnings never raise
@@ -178,7 +178,7 @@ class TestBoundsGuard:
         kb.emit(Instruction("ld.global", PTXType.F64, dst, (x,), guard=ok))
         kb.ret()
         assert not _by_pass(run_passes(PTXModule.from_builder(kb)),
-                            "bounds-guard")
+                            "proven-bounds")
 
 
 class TestLdParamTypes:
@@ -209,7 +209,8 @@ class TestPipeline:
 
         assert set(PASSES) == {"operands", "definite-assignment",
                                "unreachable-code", "return-paths",
-                               "bounds-guard"}
+                               "proven-bounds", "coalescing",
+                               "divergence"}
 
     def test_pass_subset_selection(self):
         module = _one_armed_def()

@@ -1,0 +1,52 @@
+"""Tests for the diagnostics layer: the REPRO_VERIFY knob."""
+
+import warnings
+
+import pytest
+
+from repro import diagnostics
+from repro.diagnostics import verify_mode
+
+
+@pytest.fixture(autouse=True)
+def _fresh_warn_cache(monkeypatch):
+    monkeypatch.setattr(diagnostics, "_warned_verify_values", set())
+
+
+class TestVerifyMode:
+    def test_unset_uses_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_VERIFY", raising=False)
+        assert verify_mode() == "error"
+        assert verify_mode(default="warn") == "warn"
+
+    @pytest.mark.parametrize("value", ["off", "warn", "error",
+                                       " Error ", "OFF"])
+    def test_accepted_values_are_normalized(self, value, monkeypatch):
+        monkeypatch.setenv("REPRO_VERIFY", value)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert verify_mode() == value.strip().lower()
+
+    def test_bad_value_warns_and_falls_back(self, monkeypatch):
+        monkeypatch.setenv("REPRO_VERIFY", "strict")
+        with pytest.warns(RuntimeWarning) as record:
+            assert verify_mode() == "error"
+        (w,) = record
+        assert "'strict'" in str(w.message)
+        assert "off, warn, error" in str(w.message)
+
+    def test_bad_value_warns_only_once(self, monkeypatch):
+        monkeypatch.setenv("REPRO_VERIFY", "oops")
+        with pytest.warns(RuntimeWarning):
+            verify_mode()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")     # a repeat would raise
+            assert verify_mode() == "error"
+
+    def test_distinct_bad_values_each_warn(self, monkeypatch):
+        monkeypatch.setenv("REPRO_VERIFY", "a")
+        with pytest.warns(RuntimeWarning, match="'a'"):
+            verify_mode()
+        monkeypatch.setenv("REPRO_VERIFY", "b")
+        with pytest.warns(RuntimeWarning, match="'b'"):
+            verify_mode()

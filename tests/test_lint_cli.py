@@ -1,5 +1,9 @@
 """In-process tests of the ``python -m repro.lint`` CLI."""
 
+import io
+import json
+from contextlib import redirect_stdout
+
 import pytest
 
 from repro.lint import main
@@ -9,13 +13,18 @@ from repro.lint import main
 def run(ctx):
     """One CLI run over the suite on a tiny lattice (kernels are
     lattice-size independent, so 2^4 keeps field setup cheap)."""
-    import io
-    from contextlib import redirect_stdout
-
     buf = io.StringIO()
     with redirect_stdout(buf):
         status = main(["--lattice", "2,2,2,2"])
     return status, buf.getvalue()
+
+
+@pytest.fixture(scope="module")
+def run_json(ctx):
+    buf = io.StringIO()
+    with redirect_stdout(buf):
+        status = main(["--lattice", "2,2,2,2", "--json"])
+    return status, json.loads(buf.getvalue())
 
 
 class TestCLI:
@@ -26,7 +35,7 @@ class TestCLI:
     def test_reports_every_pass_name(self, run):
         _, out = run
         for name in ("operands", "definite-assignment", "unreachable-code",
-                     "return-paths", "bounds-guard"):
+                     "return-paths", "proven-bounds"):
             assert name in out
         for name in ("shift-alias", "shift-antiparallel",
                      "lattice-conformance", "shift-materialization"):
@@ -44,6 +53,65 @@ class TestCLI:
         assert "shift-antiparallel" in out
         assert "ok:" in out
 
+    def test_reports_per_kernel_facts(self, run):
+        _, out = run
+        assert "bounds proven" in out
+        assert "tx/warp" in out
+        assert "block seed" in out
+
     def test_bad_lattice_rejected(self):
-        with pytest.raises(SystemExit):
+        with pytest.raises(SystemExit) as exc:
             main(["--lattice", "nope"])
+        assert exc.value.code == 2   # argparse usage-error convention
+
+
+class TestJSON:
+    def test_exit_status_and_schema_version(self, run_json):
+        status, report = run_json
+        assert status == 0
+        assert report["schema_version"] == 1
+        assert report["summary"]["status"] == "ok"
+        assert report["summary"]["errors"] == 0
+        assert report["summary"]["kernels"] == len(report["kernels"])
+
+    def test_kernel_records_have_the_documented_shape(self, run_json):
+        _, report = run_json
+        for k in report["kernels"]:
+            assert set(k) == {"name", "instructions", "regs_per_thread",
+                              "static_block_seed", "bounds", "coalescing",
+                              "divergence", "diagnostics"}
+            assert set(k["bounds"]) == {"verdicts", "proven",
+                                        "heuristic_fallbacks"}
+            assert set(k["coalescing"]) == {
+                "transactions_per_warp", "ideal_transactions_per_warp",
+                "memory_efficiency", "fully_coalesced"}
+            assert set(k["divergence"]) == {"branches", "divergent"}
+
+    def test_whole_suite_proven_and_coalesced(self, run_json):
+        """The tentpole's acceptance bar: with the recorded launch
+        envs, every generated kernel is *proven* in-bounds (no
+        heuristic fallbacks) and fully coalesced."""
+        _, report = run_json
+        for k in report["kernels"]:
+            assert k["bounds"]["proven"], k["name"]
+            assert k["bounds"]["heuristic_fallbacks"] == 0, k["name"]
+            assert set(k["bounds"]["verdicts"]) == {"proven"}, k["name"]
+            assert k["coalescing"]["fully_coalesced"], k["name"]
+            assert k["coalescing"]["memory_efficiency"] == 1.0
+            assert k["divergence"]["divergent"] == 0
+
+    def test_high_pressure_kernel_seeds_below_max(self, run_json):
+        """At least one real generated kernel is register-bound: its
+        auto-tuner starting block is provably below the device max."""
+        _, report = run_json
+        seeds = {k["name"]: k["static_block_seed"]
+                 for k in report["kernels"]}
+        assert any(s < 1024 for s in seeds.values()), seeds
+        assert all(s >= 32 for s in seeds.values())
+
+    def test_json_output_is_pure(self, ctx):
+        """--json prints a single parseable document, nothing else."""
+        buf = io.StringIO()
+        with redirect_stdout(buf):
+            main(["--lattice", "2,2,2,2", "--json"])
+        json.loads(buf.getvalue())

@@ -219,6 +219,9 @@ class VirtualMachine:
             sbuf = self._buffer(r, "send", mu, sign, nbytes)
             send_addrs.append(sbuf)
             if run_gather:
+                # gather reads src's device data outside the evaluator:
+                # deferred statements targeting it must land first
+                ctx.flush()
                 module, compiled = self.face_kernels[r].get(
                     "gather", spec.words_per_site, spec.precision)
                 addrs = ctx.field_cache.make_available([src.shards[r]])
@@ -262,6 +265,9 @@ class VirtualMachine:
         worst = 0.0
         for r in range(self.nranks):
             ctx = self.contexts[r]
+            # the scatter writes dest's faces behind the evaluator's
+            # back: pending statements touching dest must launch first
+            ctx.flush()
             module, compiled = self.face_kernels[r].get(
                 "scatter", spec.words_per_site, spec.precision)
             addrs = ctx.field_cache.make_available([dest.shards[r]])

@@ -242,14 +242,32 @@ class Unparser:
     One instance per generated kernel; carries the per-kernel state:
     base-pointer registers per leaf slot, site registers per shift
     view, cached component loads per (leaf node, view, word).
+
+    In *fused* mode (multi-statement kernels) three extra mechanisms
+    activate, none of which change the arithmetic producing any stored
+    value:
+
+    * loads dedup per **field** (uid) instead of per AST node — two
+      statements reading the same field share one set of loads;
+    * a common-subexpression memo keyed by structural signature,
+      component and a per-field *write epoch* reuses whole subtree
+      values across statements (registers are SSA, so reuse is safe;
+      the epoch key invalidates values that read a field a later
+      statement overwrote);
+    * destination *forwarding*: once a statement's stores are emitted,
+      plain (unshifted) reads of that destination by later statements
+      in the same kernel resolve to the stored register values —
+      bitwise what a memory round-trip would load, without the loads.
     """
 
     def __init__(self, kb: KernelBuilder, slots: SlotAssigner,
-                 dest_spec: TypeSpec, subset_mode: bool):
+                 dest_spec: TypeSpec, subset_mode: bool,
+                 fused: bool = False):
         self.kb = kb
         self.slots = slots
         self.dest_spec = dest_spec
         self.subset_mode = subset_mode
+        self.fused = fused
         self.ops = ComplexOps(kb, _FT[dest_spec.precision])
         # filled by build():
         self.nsites_reg = None
@@ -261,6 +279,51 @@ class Unparser:
         self._shift_bases: list[Register] = []
         self._scalar_vals: list[CVal] = []
         self._load_cache: dict[tuple, CVal] = {}
+        # fused-mode state (see class docstring)
+        self._forward: dict[tuple, CVal] = {}
+        self._pending_forward: dict[tuple, CVal] = {}
+        self._cse: dict[tuple, CVal] = {}
+        self._epoch: dict[int, int] = {}
+        self._sig_cache: dict[int, str] = {}
+        self._uids_cache: dict[int, tuple] = {}
+
+    # -- fused-mode bookkeeping ------------------------------------------
+
+    def _sig(self, node: Expr) -> str:
+        """Structural signature of a subtree (slot-stable: every slot
+        was assigned during the pre-walk, so this is a pure lookup)."""
+        s = self._sig_cache.get(id(node))
+        if s is None:
+            s = node.signature(self.slots)
+            self._sig_cache[id(node)] = s
+        return s
+
+    def _uids(self, node: Expr) -> tuple:
+        u = self._uids_cache.get(id(node))
+        if u is None:
+            acc: set[int] = set()
+            _collect_uids(node, acc)
+            u = tuple(sorted(acc))
+            self._uids_cache[id(node)] = u
+        return u
+
+    def _epoch_key(self, node: Expr) -> tuple:
+        return tuple(self._epoch.get(u, 0) for u in self._uids(node))
+
+    def stage_forward(self, uid: int, sidx: tuple, cidx: tuple,
+                      val: CVal) -> None:
+        """Record a stored destination component for later statements.
+
+        Staged, not live: reads *within* the storing statement must
+        still see the old values (exactly as the eager kernel's cached
+        loads do); :meth:`end_statement` activates the staged set.
+        """
+        self._pending_forward[(uid, sidx, cidx)] = val
+
+    def end_statement(self, uid: int) -> None:
+        self._forward.update(self._pending_forward)
+        self._pending_forward.clear()
+        self._epoch[uid] = self._epoch.get(uid, 0) + 1
 
     # -- address helpers (JIT data views) --------------------------------
 
@@ -311,9 +374,13 @@ class Unparser:
         ft = _FT[spec.precision]
         wb = spec.word_bytes
         parts = []
+        # fused kernels dedup loads per *field*: two statements reading
+        # the same word share it.  Eager kernels keep per-node caching
+        # so distinct references load again (Table II byte accounting).
+        leaf_key = node.field.uid if self.fused else id(node)
         for ir in range(spec.reality_size):
             w = spec.word_index(sidx, cidx, ir)
-            key = (id(node), view, w)
+            key = (leaf_key, view, w)
             cached = self._load_cache.get(key)
             if cached is None:
                 kb = self.kb
@@ -337,9 +404,32 @@ class Unparser:
         ``view`` is the shift view the enclosing ShiftNode established;
         ``conjugate``/index reversal for ``adj`` are pushed down to the
         leaves structurally (zero-cost where possible).
+
+        In fused mode this is the CSE entry point: structurally equal
+        subtrees at the same component/view/conjugation — with no
+        intervening write to any field they read — return the value
+        already computed (registers are SSA, so reuse is sound).
         """
+        if self.fused and not isinstance(node, (ScalarLit, ScalarParam,
+                                                ConstSpinMatrix)):
+            key = (self._sig(node), view, sidx, cidx, conjugate,
+                   self._epoch_key(node))
+            hit = self._cse.get(key)
+            if hit is not None:
+                return hit
+            val = self._gen(node, sidx, cidx, view, conjugate)
+            self._cse[key] = val
+            return val
+        return self._gen(node, sidx, cidx, view, conjugate)
+
+    def _gen(self, node: Expr, sidx: tuple, cidx: tuple,
+             view: int | None = None, conjugate: bool = False) -> CVal:
         ops = self.ops
         if isinstance(node, FieldRef):
+            if self.fused and view is None:
+                fwd = self._forward.get((node.field.uid, sidx, cidx))
+                if fwd is not None:
+                    return ops.conj(fwd) if conjugate else fwd
             v = self.load_component(node, view, sidx, cidx)
             return ops.conj(v) if conjugate else v
         if isinstance(node, ScalarLit):
@@ -458,6 +548,66 @@ class Unparser:
             x = self.kb._coerce(v.re, ft)
             return CVal(re=emit_pow(self.kb, x, node.exponent, ft))
         raise CodegenError(f"cannot unparse node {type(node).__name__}")
+
+
+def _collect_uids(node: Expr, acc: set) -> None:
+    if isinstance(node, FieldRef):
+        acc.add(node.field.uid)
+    for c in node.children():
+        _collect_uids(c, acc)
+
+
+def emit_reduction_partials(up: Unparser, kind: str, exprs,
+                            out_re_base, out_im_base, gid) -> None:
+    """Emit the per-thread partial of a reduction and its store(s).
+
+    Shared by the standalone partials kernel
+    (:func:`repro.core.reduction._build_reduction_kernel`) and by
+    fused kernels that absorb a reduction behind their stores.  The
+    accumulation always happens in f64 and the partial lands at
+    ``out + gid*8``, so absorbed and standalone partials are bitwise
+    identical.
+    """
+    kb = up.kb
+    ops = up.ops
+    spec = exprs[0].spec
+    acc = None
+    if kind == "norm2":
+        (expr,) = exprs
+        for sidx in spec.spin_indices():
+            for cidx in spec.color_indices():
+                v = up.gen(expr, sidx, cidx)
+                v = ops._materialize(v, PTXType.F64)
+                # |z|^2 = re^2 + im^2, accumulated with fma
+                t = (kb.fma(v.re, v.re, acc, PTXType.F64) if acc is not None
+                     else kb.mul(v.re, v.re, PTXType.F64))
+                acc = t
+                if v.im is not None:
+                    acc = kb.fma(v.im, v.im, acc, PTXType.F64)
+        acc = CVal(re=acc)
+    elif kind == "sum":
+        (expr,) = exprs
+        acc = up.gen(expr, (), ())
+    elif kind == "inner":
+        a, b = exprs
+        for sidx in spec.spin_indices():
+            for cidx in spec.color_indices():
+                va = up.gen(a, sidx, cidx)
+                vb = up.gen(b, sidx, cidx)
+                t = ops.mul_conj(va, vb)
+                acc = t if acc is None else ops.add(acc, t)
+    else:
+        raise CodegenError(f"unknown reduction kind {kind!r}")
+
+    acc = ops._materialize(acc, PTXType.F64)
+    # store partial at out + gid*8
+    g64 = kb.cvt(gid, PTXType.S64)
+    off = kb.cvt(kb.mul(g64, kb.imm(8, PTXType.S64)), PTXType.U64)
+    kb.st_global(kb.add(out_re_base, off), acc.re, PTXType.F64)
+    if out_im_base is not None:
+        im_operand = acc.im if acc.im is not None else Immediate(
+            PTXType.F64, 0.0)
+        kb.st_global(kb.add(out_im_base, off), im_operand, PTXType.F64)
 
 
 @dataclass
@@ -584,3 +734,137 @@ def build_expression_kernel(name: str, expr: Expr, dest_spec: TypeSpec,
         dest_spec=dest_spec,
     )
     return module, plan
+
+
+def _check_assign_types(dest_spec: TypeSpec, expr: Expr) -> None:
+    if dest_spec.is_complex is False and expr.spec.is_complex:
+        raise ExprTypeError(
+            "cannot assign complex expression to real destination; "
+            "use real()/imag()")
+    if expr.spec.spin != dest_spec.spin or expr.spec.color != dest_spec.color:
+        raise ExprTypeError(
+            f"shape mismatch in assignment: expression "
+            f"spin={expr.spec.spin} color={expr.spec.color}, destination "
+            f"spin={dest_spec.spin} color={dest_spec.color}")
+
+
+def build_fused_kernel(name: str, assigns, reduction,
+                       subset_mode: bool) -> PTXModule:
+    """Generate one multi-output kernel for a fused statement group.
+
+    ``assigns`` is an ordered list of ``(dest_field, expr)`` pairs
+    (normalized ASTs); ``reduction`` is an optional trailing
+    ``(kind, exprs)`` whose per-thread partials the kernel also
+    writes.  Statement order is preserved per thread, destinations are
+    addressed through their own field slot (so the structural cache
+    key fully determines the code), and the fused :class:`Unparser`
+    mode supplies load dedup, CSE and destination forwarding.
+    """
+    kb = KernelBuilder(name)
+    slots = SlotAssigner()
+    # pre-walk in the exact order the launcher re-walks for binding:
+    # each statement's expression, then its destination's slot, then
+    # the reduction operands
+    for dest, expr in assigns:
+        _check_assign_types(dest.spec, expr)
+        expr.signature(slots)
+        slots.field_slot(dest)
+    if reduction is not None:
+        for e in reduction[1]:
+            e.signature(slots)
+
+    # --- parameters (bound by name at launch) ---
+    p_lo = kb.add_param("p_lo", PTXType.S32)
+    p_n = kb.add_param("p_n", PTXType.S32)
+    p_stab = (kb.add_param("p_stab", PTXType.U64, is_pointer=True)
+              if subset_mode else None)
+    p_shifts = [kb.add_param(f"p_sh{i}", PTXType.U64, is_pointer=True)
+                for i in range(len(slots.shifts))]
+    p_out_re = p_out_im = None
+    if reduction is not None:
+        p_out_re = kb.add_param("p_out_re", PTXType.U64, is_pointer=True)
+        if reduction[0] in ("sum", "inner"):
+            p_out_im = kb.add_param("p_out_im", PTXType.U64, is_pointer=True)
+    p_fields = [kb.add_param(f"p_f{i}", PTXType.U64, is_pointer=True)
+                for i in range(len(slots.fields))]
+    scalar_params = []
+    for i, sn in enumerate(slots.scalar_slots):
+        ft = _FT[sn.spec.precision]
+        pre = kb.add_param(f"p_s{i}_re", ft)
+        pim = kb.add_param(f"p_s{i}_im", ft) if sn.spec.is_complex else None
+        scalar_params.append((pre, pim))
+
+    # the scheduler only groups statements of one destination
+    # precision, so the ComplexOps default type matches what each
+    # statement's eager kernel would use
+    up = Unparser(kb, slots, assigns[0][0].spec, subset_mode, fused=True)
+
+    # --- preamble ---
+    up.nsites_reg = kb.ld_param(p_lo)
+    n_active = kb.ld_param(p_n)
+    stab_base = kb.ld_param(p_stab) if subset_mode else None
+    up._shift_bases = [kb.ld_param(p) for p in p_shifts]
+    out_re_base = kb.ld_param(p_out_re) if p_out_re is not None else None
+    out_im_base = kb.ld_param(p_out_im) if p_out_im is not None else None
+    up._leaf_bases = [kb.ld_param(p) for p in p_fields]
+    for (pre, pim) in scalar_params:
+        re = kb.ld_param(pre)
+        im = kb.ld_param(pim) if pim is not None else None
+        up._scalar_vals.append(CVal(re=re, im=im))
+
+    gid = kb.global_thread_id()
+    oob = kb.setp("ge", gid, n_active)
+    exit_lbl = kb.new_label("EXIT")
+    kb.bra(exit_lbl, guard=oob)
+
+    if subset_mode:
+        g64 = kb.cvt(gid, PTXType.S64)
+        off = kb.mul(g64, kb.imm(4, PTXType.S64))
+        addr = kb.add(stab_base, kb.cvt(off, PTXType.U64))
+        up.site_reg = kb.ld_global(addr, PTXType.S32)
+    else:
+        up.site_reg = gid
+    up._view_sites[None] = up.site_reg
+
+    # --- body: statements in order, one store per destination word ---
+    ops = up.ops
+    for dest, expr in assigns:
+        dspec = dest.spec
+        ft = _FT[dspec.precision]
+        wb = dspec.word_bytes
+        nsb = up._nsites_bytes_reg(wb)
+        sb = up._site_bytes_reg(None, wb)
+        dst_base = up._leaf_bases[slots.field_slot(dest)]
+        for sidx in dspec.spin_indices():
+            for cidx in dspec.color_indices():
+                val = up.gen(expr, sidx, cidx)
+                val = ops._materialize(val, ft)
+                re_op = kb._coerce(val.re, ft)
+                comps = [(0, re_op)]
+                im_op = None
+                if dspec.is_complex:
+                    im_op = kb._coerce(val.im if val.im is not None
+                                       else Immediate(ft, 0.0), ft)
+                    comps.append((1, im_op))
+                elif val.im is not None:
+                    raise ExprTypeError(
+                        "complex value assigned to real destination")
+                for ir, operand in comps:
+                    w = dspec.word_index(sidx, cidx, ir)
+                    off = kb.fma(nsb, kb.imm(w, PTXType.S64), sb,
+                                 PTXType.S64)
+                    addr = kb.add(dst_base, kb.cvt(off, PTXType.U64))
+                    kb.st_global(addr, operand, ft)
+                # later statements read these registers instead of
+                # re-loading the destination from memory
+                up.stage_forward(dest.uid, sidx, cidx,
+                                 CVal(re=re_op, im=im_op))
+        up.end_statement(dest.uid)
+
+    if reduction is not None:
+        emit_reduction_partials(up, reduction[0], reduction[1],
+                                out_re_base, out_im_base, gid)
+
+    kb.label(exit_lbl)
+    kb.ret()
+    return PTXModule.from_builder(kb)

@@ -25,6 +25,37 @@ class ContextStats:
     expressions_evaluated: int = 0
     kernels_generated: int = 0
     reductions: int = 0
+    #: multi-statement fused launches / statements they covered
+    fusion_groups: int = 0
+    fused_statements: int = 0
+    #: generated-module cache outcomes (see :class:`ModuleCache`)
+    module_cache_hits: int = 0
+    module_cache_misses: int = 0
+
+
+class ModuleCache(dict):
+    """The generated-PTX module cache, with hit/miss accounting.
+
+    A plain dict keyed by structural expression signature; the
+    evaluator, the reduction builder and the fusion engine go through
+    :meth:`lookup` so the context's stats record how often a launch
+    reused an existing module versus generating a new one — the
+    "kernels are compiled once, launched thousands of times" claim of
+    the paper, now measurable (``repro.lint --json`` reports it).
+    """
+
+    def __init__(self, stats: ContextStats):
+        super().__init__()
+        self._stats = stats
+
+    def lookup(self, key):
+        """Counted :meth:`dict.get`: the cache-consulting lookup."""
+        entry = super().get(key)
+        if entry is None:
+            self._stats.module_cache_misses += 1
+        else:
+            self._stats.module_cache_hits += 1
+        return entry
 
 
 class Context:
@@ -33,22 +64,34 @@ class Context:
     def __init__(self, spec: DeviceSpec = K20X_ECC_OFF,
                  pool_capacity: int | None = None,
                  autotune: bool = True,
-                 default_block_size: int = 128):
+                 default_block_size: int = 128,
+                 fusion: bool | None = None):
+        from .fusion import FusionQueue
+
         self.device = Device(spec, pool_capacity=pool_capacity)
         self.kernel_cache = KernelCache()
         self.field_cache = FieldCache(self.device)
         self.autotuner = Autotuner(self.device) if autotune else None
         self.default_block_size = default_block_size
+        self.stats = ContextStats()
         #: structural expression signature -> (PTXModule, plan, compiled)
-        self.module_cache: dict[str, object] = {}
+        self.module_cache: ModuleCache = ModuleCache(self.stats)
         #: kernel name -> ptx.absint.KernelEnv covering every launch
         #: binding seen so far (widened across launches); feeds the
         #: abstract-interpretation verifier passes and repro.lint
         self.analysis_envs: dict[str, object] = {}
-        self.stats = ContextStats()
+        #: deferred-evaluation queue (``fusion=None`` consults the
+        #: ``REPRO_FUSION`` knob; an explicit bool overrides it)
+        self.fusion = FusionQueue(self, enabled=fusion)
+        #: host access to any cached field drains the queue first
+        self.field_cache.flush_hook = self.fusion.flush
         #: uploaded int32 tables (shift maps, subset site lists):
         #: key -> (addr, length)
         self._tables: dict[object, tuple[int, int]] = {}
+
+    def flush(self) -> None:
+        """Launch every pending (deferred) statement now."""
+        self.fusion.flush()
 
     # -- device-resident int32 tables -----------------------------------
 

@@ -25,7 +25,7 @@ from ..device.memmodel import KernelCost
 from ..diagnostics import verify_mode
 from ..ptx.absint import KernelEnv, MemRegion, merge_envs, table_region
 from ..ptx.verifier import verify
-from .codegen import build_expression_kernel
+from .codegen import _check_assign_types, build_expression_kernel
 from .lint import check_assignment
 
 if TYPE_CHECKING:
@@ -69,12 +69,19 @@ def _rebuild(node: Expr, new_children) -> Expr:
     raise TypeError(f"cannot rebuild {type(node).__name__}")
 
 
-def _normalize(node: Expr, dest, ctx: Context) -> Expr:
-    """Materialize shift-of-expression and shift-of-destination."""
+def _normalize(node: Expr, dest, ctx: Context,
+               temps: list | None = None) -> Expr:
+    """Materialize shift-of-expression and shift-of-destination.
+
+    Created temporaries are appended to ``temps`` so the caller can
+    :meth:`~repro.memory.cache.FieldCache.release` them once the
+    statement that consumes them has launched — a dead temporary must
+    never cost D2H spill traffic later.
+    """
     children = node.children()
     if not children:
         return node
-    new = [_normalize(c, dest, ctx) for c in children]
+    new = [_normalize(c, dest, ctx, temps) for c in children]
     if isinstance(node, ShiftNode):
         child = new[0]
         needs_temp = not isinstance(child, FieldRef)
@@ -83,6 +90,8 @@ def _normalize(node: Expr, dest, ctx: Context) -> Expr:
         if needs_temp or aliases_dest:
             temp = _new_temp(dest.lattice, child.spec, ctx)
             evaluate(temp, child, context=ctx)
+            if temps is not None:
+                temps.append(temp)
             child = FieldRef(temp)
         return ShiftNode(child, node.mu, node.sign)
     if all(a is b for a, b in zip(new, children)):
@@ -100,7 +109,12 @@ def evaluate(dest, expr, subset: "Subset | None" = None,
              context: Context | None = None) -> KernelCost:
     """Evaluate ``dest = expr`` (optionally on a subset of sites).
 
-    Returns the modeled :class:`KernelCost` of the main kernel launch.
+    With fusion enabled (the ``REPRO_FUSION`` knob, default on) the
+    statement is *enqueued* on the context's fusion queue and a lazy
+    :class:`~repro.core.fusion.PendingCost` is returned; the kernel —
+    possibly fused with neighboring statements — launches at the next
+    barrier.  Otherwise launches eagerly and returns the modeled
+    :class:`KernelCost` directly.
     """
     ctx = context if context is not None else getattr(
         dest, "context", None) or default_context()
@@ -119,8 +133,31 @@ def evaluate(dest, expr, subset: "Subset | None" = None,
     # -- AST lint: surface data hazards before any kernel is built ------
     mode = verify_mode()
     check_assignment(dest, expr, subset=subset, mode=mode)
-    expr = _normalize(expr, dest, ctx)
+    temps: list = []
+    expr = _normalize(expr, dest, ctx, temps)
+    # type errors must surface at the assignment site, not at the
+    # (possibly much later) deferred launch
+    _check_assign_types(dest.spec, expr)
+    ctx.stats.expressions_evaluated += 1
 
+    if ctx.fusion.enabled:
+        return ctx.fusion.enqueue(dest, expr, subset, temps)
+
+    cost = _launch_statement(dest, expr, subset, ctx)
+    for t in temps:
+        ctx.field_cache.release(t)
+    return cost
+
+
+def _launch_statement(dest, expr: Expr, subset, ctx: Context) -> KernelCost:
+    """Compile (or hit the module cache) and launch one statement.
+
+    The pre-fusion eager path, byte-for-byte: single-statement fusion
+    groups also drain through here, so their kernels, cache keys and
+    modeled costs are identical under ``REPRO_FUSION=on`` and ``off``.
+    """
+    lattice = dest.lattice
+    mode = verify_mode()
     slots = SlotAssigner()
     sig = expr.signature(slots)
     subset_mode = not subset.is_full
@@ -128,7 +165,7 @@ def evaluate(dest, expr, subset: "Subset | None" = None,
 
     env = _analysis_env(lattice, subset, subset_mode, slots, dest.spec)
 
-    entry = ctx.module_cache.get(key)
+    entry = ctx.module_cache.lookup(key)
     if entry is None:
         name = "eval_" + hashlib.sha256(key.encode()).hexdigest()[:12]
         module, plan = build_expression_kernel(name, expr, dest.spec,
@@ -187,7 +224,6 @@ def evaluate(dest, expr, subset: "Subset | None" = None,
                                  block_size=ctx.default_block_size,
                                  precision=precision)
     ctx.field_cache.mark_device_dirty(dest)
-    ctx.stats.expressions_evaluated += 1
     return cost
 
 

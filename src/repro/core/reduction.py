@@ -16,16 +16,17 @@ from typing import TYPE_CHECKING
 
 from ..ptx.absint import MemRegion, merge_envs
 from ..ptx.builder import KernelBuilder
-from ..ptx.isa import Immediate, PTXType
+from ..ptx.isa import PTXType
 from ..ptx.module import PTXModule
 from ..ptx.verifier import verify
-from .codegen import CVal, Unparser
+from .codegen import CVal, Unparser, emit_reduction_partials
 
 if TYPE_CHECKING:
     from ..qdp.lattice import Subset
 from .context import Context
 from .evaluator import _analysis_env, _normalize, _shift_table
 from .expr import Expr, ExprTypeError, FieldRef, SlotAssigner, as_expr
+from .fusion import ReductionJob
 
 
 class ReductionError(Exception):
@@ -96,53 +97,24 @@ def _build_reduction_kernel(name: str, kind: str, exprs: list[Expr],
         up.site_reg = gid
     up._view_sites[None] = up.site_reg
 
-    ops = up.ops
-    spec = exprs[0].spec
-    acc = None
-    if kind == "norm2":
-        (expr,) = exprs
-        for sidx in spec.spin_indices():
-            for cidx in spec.color_indices():
-                v = up.gen(expr, sidx, cidx)
-                v = ops._materialize(v, PTXType.F64)
-                # |z|^2 = re^2 + im^2, accumulated with fma
-                t = (kb.fma(v.re, v.re, acc, PTXType.F64) if acc is not None
-                     else kb.mul(v.re, v.re, PTXType.F64))
-                acc = t
-                if v.im is not None:
-                    acc = kb.fma(v.im, v.im, acc, PTXType.F64)
-        acc = CVal(re=acc)
-    elif kind == "sum":
-        (expr,) = exprs
-        if spec.spin or spec.color:
-            raise ReductionError(
-                "sum() needs a scalar-shaped expression; trace first")
-        acc = up.gen(expr, (), ())
-    elif kind == "inner":
-        a, b = exprs
-        if a.spec.spin != b.spec.spin or a.spec.color != b.spec.color:
-            raise ExprTypeError("innerProduct shape mismatch")
-        for sidx in spec.spin_indices():
-            for cidx in spec.color_indices():
-                va = up.gen(a, sidx, cidx)
-                vb = up.gen(b, sidx, cidx)
-                t = ops.mul_conj(va, vb)
-                acc = t if acc is None else ops.add(acc, t)
-    else:
-        raise ReductionError(f"unknown reduction kind {kind!r}")
-
-    acc = ops._materialize(acc, PTXType.F64)
-    # store partial at out + gid*8
-    g64 = kb.cvt(gid, PTXType.S64)
-    off = kb.cvt(kb.mul(g64, kb.imm(8, PTXType.S64)), PTXType.U64)
-    kb.st_global(kb.add(out_re_base, off), acc.re, PTXType.F64)
-    if complex_out:
-        im_operand = acc.im if acc.im is not None else Immediate(
-            PTXType.F64, 0.0)
-        kb.st_global(kb.add(out_im_base, off), im_operand, PTXType.F64)
+    emit_reduction_partials(up, kind, exprs, out_re_base, out_im_base, gid)
     kb.label(exit_lbl)
     kb.ret()
     return PTXModule.from_builder(kb)
+
+
+def _validate(kind: str, exprs: list[Expr]) -> None:
+    """Shape checks, up front so fused and standalone paths agree."""
+    spec = exprs[0].spec
+    if kind == "sum" and (spec.spin or spec.color):
+        raise ReductionError(
+            "sum() needs a scalar-shaped expression; trace first")
+    if kind == "inner":
+        a, b = exprs
+        if a.spec.spin != b.spec.spin or a.spec.color != b.spec.color:
+            raise ExprTypeError("innerProduct shape mismatch")
+    if kind not in ("norm2", "sum", "inner"):
+        raise ReductionError(f"unknown reduction kind {kind!r}")
 
 
 def _reduce(kind: str, exprs: list[Expr], subset: Subset | None,
@@ -155,8 +127,38 @@ def _reduce(kind: str, exprs: list[Expr], subset: Subset | None,
     lattice = f0.lattice
     if subset is None:
         subset = lattice.all_sites
-    exprs = [_normalize(e, f0, ctx) for e in exprs]
+    temps: list = []
+    exprs = [_normalize(e, f0, ctx, temps) for e in exprs]
+    _validate(kind, exprs)
 
+    n_active = len(subset)
+    complex_out = kind in ("sum", "inner")
+
+    # a reduction is a queue barrier; if the trailing pending group is
+    # compatible, its fused kernel also writes our partials and the
+    # separate partials launch disappears entirely
+    scratch = None
+    if ctx.fusion.enabled:
+        job = ReductionJob(kind, exprs, subset, lattice)
+        scratch = ctx.fusion.flush_for_reduction(job)
+
+    if scratch is None:
+        scratch = _launch_partials(ctx, kind, exprs, subset, lattice,
+                                   n_active, complex_out)
+    for t in temps:
+        ctx.field_cache.release(t)
+    ctx.stats.reductions += 1
+    re = ctx.device.reduce_f64(scratch, n_active)
+    if complex_out:
+        im = ctx.device.reduce_f64(scratch + n_active * 8, n_active)
+        return complex(re, im)
+    return re
+
+
+def _launch_partials(ctx: Context, kind: str, exprs: list[Expr],
+                     subset, lattice, n_active: int,
+                     complex_out: bool) -> int:
+    """The standalone partials kernel (pre-fusion launch path)."""
     slots = SlotAssigner()
     sigs = ",".join(e.signature(slots) for e in exprs)
     subset_mode = not subset.is_full
@@ -169,11 +171,11 @@ def _reduce(kind: str, exprs: list[Expr], subset: Subset | None,
     regions = dict(env.regions)
     del regions["p_dst"]
     regions["p_out_re"] = MemRegion("p_out_re", len(subset) * 8)
-    if kind in ("sum", "inner"):
+    if complex_out:
         regions["p_out_im"] = MemRegion("p_out_im", len(subset) * 8)
     env = dc_replace(env, regions=regions)
 
-    entry = ctx.module_cache.get(key)
+    entry = ctx.module_cache.lookup(key)
     if entry is None:
         name = "red_" + hashlib.sha256(key.encode()).hexdigest()[:12]
         module = _build_reduction_kernel(name, kind, exprs, slots,
@@ -190,8 +192,6 @@ def _reduce(kind: str, exprs: list[Expr], subset: Subset | None,
     ctx.analysis_envs[module.name] = (env if prev is None
                                       else merge_envs(prev, env))
 
-    n_active = len(subset)
-    complex_out = kind in ("sum", "inner")
     scratch = ctx_scratch(ctx, n_active * 8 * (2 if complex_out else 1))
     addrs = ctx.field_cache.make_available(slots.fields)
 
@@ -219,12 +219,7 @@ def _reduce(kind: str, exprs: list[Expr], subset: Subset | None,
         ctx.device.launch(compiled, module.info, params, n_active,
                           block_size=ctx.default_block_size,
                           precision=precision)
-    ctx.stats.reductions += 1
-    re = ctx.device.reduce_f64(scratch, n_active)
-    if complex_out:
-        im = ctx.device.reduce_f64(scratch + n_active * 8, n_active)
-        return complex(re, im)
-    return re
+    return scratch
 
 
 def ctx_scratch(ctx: Context, nbytes: int) -> int:

@@ -29,8 +29,15 @@ class DeviceStats:
     """Cumulative counters for one device."""
 
     kernel_launches: int = 0
+    #: subset of ``kernel_launches``: fixed-function partial-buffer
+    #: folds (:meth:`Device.reduce_f64`), not generated kernels —
+    #: fusion can eliminate the latter but never the former
+    fold_launches: int = 0
     launch_failures: int = 0
     modeled_kernel_time_s: float = 0.0
+    #: modeled global-memory traffic of generated kernels (sum of
+    #: ``KernelCost.bytes_moved``); fused kernels move fewer bytes
+    modeled_kernel_bytes: int = 0
     wall_kernel_time_s: float = 0.0
     bytes_h2d: int = 0
     bytes_d2h: int = 0
@@ -134,6 +141,7 @@ class Device:
         wall = _time.perf_counter() - w0
         self.stats.kernel_launches += 1
         self.stats.modeled_kernel_time_s += cost.time_s
+        self.stats.modeled_kernel_bytes += cost.bytes_moved
         self.stats.wall_kernel_time_s += wall
         per = self.stats.per_kernel_time_s
         per[kernel.name] = per.get(kernel.name, 0.0) + cost.time_s
@@ -156,6 +164,7 @@ class Device:
         bw = sustained_bandwidth(self.spec, 256, 16, max(count, 1), 8)
         t = count * 8 / bw + self.spec.launch_overhead_s
         self.stats.kernel_launches += 1
+        self.stats.fold_launches += 1
         self.stats.modeled_kernel_time_s += t
         self.clock += t
         return value

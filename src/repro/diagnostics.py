@@ -100,6 +100,40 @@ def verify_mode(default: str = "error") -> str:
     return default
 
 
+FUSION_MODES = ("on", "off")
+
+_warned_fusion_values: set[str] = set()
+
+
+def fusion_mode(default: str = "on") -> str:
+    """The deferred-evaluation mode from the ``REPRO_FUSION`` knob.
+
+    ``on`` (default)
+        Assignments enqueue into the context's fusion queue; compatible
+        statements launch as one fused multi-output kernel at the next
+        barrier (reduction, host access, shift hazard, explicit flush).
+    ``off``
+        Every assignment launches its own kernel immediately — the
+        pre-fusion eager behavior, bitwise identical in results.
+
+    Unrecognized values fall back to the default with a one-time
+    warning, mirroring :func:`verify_mode`.
+    """
+    raw = os.environ.get("REPRO_FUSION")
+    if raw is None:
+        return default
+    mode = raw.strip().lower()
+    if mode in FUSION_MODES:
+        return mode
+    if raw not in _warned_fusion_values:
+        _warned_fusion_values.add(raw)
+        warnings.warn(
+            f"ignoring unrecognized REPRO_FUSION={raw!r}: accepted "
+            f"values are {', '.join(FUSION_MODES)}; using "
+            f"{default!r}", RuntimeWarning, stacklevel=3)
+    return default
+
+
 def emit_warnings(diagnostics, stacklevel: int = 3,
                   min_severity: Severity = Severity.WARNING) -> None:
     """Report diagnostics through the :mod:`warnings` machinery.

@@ -28,10 +28,10 @@ Exit status:
 ``2``
     Usage error (bad command line), per argparse convention.
 
-JSON schema (``schema_version`` 1)::
+JSON schema (``schema_version`` 2)::
 
     {
-      "schema_version": 1,
+      "schema_version": 2,
       "lattice": [int, ...],
       "passes": [str, ...],            # PTX verifier pass names
       "ast_passes": [str, ...],        # expression-AST lint pass names
@@ -60,6 +60,13 @@ JSON schema (``schema_version`` 1)::
         }, ...
       ],
       "ast_findings": [ same shape as "diagnostics" entries ],
+      "module_cache": {                # structural generated-kernel cache
+        "hits": int, "misses": int
+      },
+      "fusion": {                      # deferred-evaluation engine
+        "groups": int,                 # multi-statement kernels launched
+        "fused_statements": int        # statements they covered
+      },
       "summary": {
         "kernels": int, "diagnostics": int,
         "errors": int, "warnings": int, "notes": int,
@@ -139,6 +146,10 @@ def _build_kernel_suite(dims: tuple[int, ...]):
     z = latt_complex(lat, context=ctx)
     z.gaussian(rng)
     sum_sites(z.ref() * z.ref(), context=ctx)
+
+    # drain the deferred-evaluation queue: pending statements (fused
+    # kernels included) must land in module_cache before verification
+    ctx.flush()
 
     # AST lint over the operator-defining expressions (raw view:
     # no destination aliasing is expected, so findings are notes)
@@ -313,18 +324,31 @@ def main(argv=None) -> int:
 
     failed = worst >= Severity.ERROR
     if text:
+        print(f"\n-- caches " + "-" * 44)
+        print(f"  module cache: {ctx.stats.module_cache_hits} hit(s), "
+              f"{ctx.stats.module_cache_misses} miss(es)")
+        print(f"  fusion: {ctx.stats.fusion_groups} fused group(s) "
+              f"covering {ctx.stats.fused_statements} statement(s)")
         status = "FAIL" if failed else "ok"
         print(f"\nrepro.lint: {status}: {len(suite)} kernel(s) verified, "
               f"{n_diags} diagnostic(s), worst severity "
               f"{worst.label if n_diags else 'none'}")
     else:
         report = {
-            "schema_version": 1,
+            "schema_version": 2,
             "lattice": list(args.lattice),
             "passes": list(PASSES),
             "ast_passes": list(LINT_PASSES),
             "kernels": kernels,
             "ast_findings": [_diag_json(d) for d in ast_findings],
+            "module_cache": {
+                "hits": ctx.stats.module_cache_hits,
+                "misses": ctx.stats.module_cache_misses,
+            },
+            "fusion": {
+                "groups": ctx.stats.fusion_groups,
+                "fused_statements": ctx.stats.fused_statements,
+            },
             "summary": {
                 "kernels": len(suite),
                 "diagnostics": n_diags,

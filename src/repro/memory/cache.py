@@ -69,6 +69,13 @@ class FieldCache:
         self.entries: dict[int, CacheEntry] = {}
         self.stats = CacheStats()
         self._clock = 0
+        #: called before any host<->device coherence transition that
+        #: host code observes — the context wires this to its fusion
+        #: queue so pending deferred statements launch first (the
+        #: ``to_numpy``/``from_numpy`` flush barriers).  The queue
+        #: guards against reentry; launches themselves never call
+        #: ensure_host/invalidate_device.
+        self.flush_hook = None
 
     # -- internals -----------------------------------------------------
 
@@ -188,6 +195,8 @@ class FieldCache:
         The device copy stays resident and valid (read sharing); a
         subsequent CPU *write* must call :meth:`invalidate_device`.
         """
+        if self.flush_hook is not None:
+            self.flush_hook()
         if f.host_valid:
             return
         entry = self.entries.get(f.uid)
@@ -201,7 +210,15 @@ class FieldCache:
         self.stats.bytes_paged_out += entry.nbytes
 
     def invalidate_device(self, f: CacheableField) -> None:
-        """CPU code wrote the host copy: the device copy is stale."""
+        """CPU code wrote the host copy: the device copy is stale.
+
+        Drains the deferred-statement queue first: a pending statement
+        reading ``f`` must consume the value ``f`` held *before* this
+        host write (program order), and a pending write of ``f`` must
+        land before being superseded.
+        """
+        if self.flush_hook is not None:
+            self.flush_hook()
         f.device_valid = False
         f.host_valid = True
 

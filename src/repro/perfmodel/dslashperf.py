@@ -61,6 +61,7 @@ def measure_dslash_kernels(precision: str) -> DslashKernelStats:
     dest = latt_fermion(lattice, precision, ctx)
 
     def last_module():
+        ctx.flush()     # force the deferred launch so the module exists
         return list(ctx.module_cache.values())[-1][0]
 
     tb.assign(adj(u[0]) * psi)

@@ -106,6 +106,7 @@ def generate_test_kernels(precision: str = "f64",
     out = {}
     for name, (dest, expr) in cases.items():
         dest.assign(expr)
+        ctx.flush()   # deferred queue: force the launch (and compile) now
         # module_cache is insertion ordered: the entry just added by
         # this assignment is the expression kernel we want
         module = _last_expression_module(ctx)

@@ -107,6 +107,12 @@ class LatticeField:
 
         Returns the modeled kernel cost.  ``subset`` restricts the
         assignment to a site subset (QDP++ ``psi[rb[0]] = ...``).
+
+        With deferred evaluation enabled (``REPRO_FUSION=on``, the
+        default) the statement is queued and the returned cost is a
+        lazy proxy: touching any of its attributes — or reading any
+        field, or running a reduction — flushes the queue, possibly
+        launching this statement fused with its neighbors.
         """
         from ..core.evaluator import evaluate
 
@@ -131,7 +137,8 @@ class LatticeField:
         ``(nsites, *spin_shape, *color_shape)``.
 
         Reading triggers a device-to-host page-out if the freshest
-        copy is on the device.
+        copy is on the device; it is also a fusion barrier — every
+        deferred statement launches before the bytes move.
         """
         self._ensure_host()
         spec = self.spec

@@ -20,6 +20,7 @@ class TestKernelCaching:
             a.gaussian(rng)
             b = latt_fermion(lat, context=ctx)
             b.assign(2.0 * a)
+        ctx.flush()
         assert ctx.kernel_cache.stats.n_kernels == n0 + 1
         # generated once, evaluated five times
         assert ctx.stats.kernels_generated == 1
@@ -58,10 +59,13 @@ class TestKernelCaching:
         a.gaussian(rng)
         b = latt_fermion(lat, context=ctx)
         b.assign(2.0 * a)
+        ctx.flush()
         n_full = ctx.kernel_cache.stats.n_kernels
         b.assign(2.0 * a, subset=lat.even)
+        ctx.flush()
         assert ctx.kernel_cache.stats.n_kernels == n_full + 1
         b.assign(2.0 * a, subset=lat.odd)   # reuses the subset kernel
+        ctx.flush()
         assert ctx.kernel_cache.stats.n_kernels == n_full + 1
 
     def test_jit_time_charged_once(self, rng):
@@ -71,9 +75,11 @@ class TestKernelCaching:
         a.gaussian(rng)
         b = latt_fermion(lat, context=ctx)
         b.assign(3.0 * a)
+        ctx.flush()
         jit_t = ctx.device.stats.modeled_jit_time_s
         assert 0.05 <= jit_t <= 0.25     # paper's per-kernel band
         b.assign(4.0 * a)
+        ctx.flush()
         assert ctx.device.stats.modeled_jit_time_s == jit_t
 
 
@@ -140,5 +146,6 @@ class TestStatsAndAccounting:
         b = latt_fermion(lat, context=ctx)
         for _ in range(10):
             b.assign(2.0 * a)
+        ctx.flush()
         states = list(ctx.autotuner.states.values())
         assert states and states[0].launches >= 10

@@ -37,6 +37,7 @@ class TestBroadcast:
         n0 = ctx.kernel_cache.stats.n_kernels
         r.assign(ScalarLit(2.0) * s)
         r.assign(ScalarLit(3.0) * s)
+        ctx.flush()
         assert ctx.kernel_cache.stats.n_kernels == n0 + 2
 
     def test_subset_broadcast(self, ctx, lat4):

@@ -29,6 +29,7 @@ def _run_llvm_and_compare(ctx, dest, build_expr, extra_fields,
     from repro.core.evaluator import _normalize, _shift_table
 
     expr = _normalize(as_expr(build_expr()), dest, ctx)
+    ctx.flush()   # _normalize may enqueue temp-materializing statements
     slots = SlotAssigner()
     expr.signature(slots)
     lattice = dest.lattice
@@ -124,6 +125,7 @@ class TestIRText:
         a.gaussian(rng)
         dest = latt_fermion(lat, context=llctx)
         dest.assign(2.0 * a + a)
+        llctx.flush()
         module = list(llctx.module_cache.values())[-1][0]
         return module, transpile(module.render())
 
@@ -167,6 +169,7 @@ class TestIRText:
         r.from_numpy(np.abs(rng.normal(size=lat.nsites)) + 0.1)
         dest = latt_real(lat, context=llctx)
         dest.assign(sqrt(r))
+        llctx.flush()
         module = list(llctx.module_cache.values())[-1][0]
         ir = transpile(module.render())
         assert "@llvm.sqrt.f64" in ir.text

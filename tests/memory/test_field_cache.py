@@ -28,6 +28,7 @@ class TestResidency:
         a.gaussian(rng)
         assert not ctx.field_cache.is_resident(a)
         b.assign(2.0 * a)
+        ctx.flush()                        # deferred queue: launch now
         assert ctx.field_cache.is_resident(a)
         assert ctx.field_cache.is_resident(b)
         assert ctx.field_cache.stats.page_ins >= 1
@@ -51,6 +52,7 @@ class TestResidency:
         b = latt_fermion(lattice, context=ctx)
         a.gaussian(np.random.default_rng(0))
         b.assign(2.0 * a)
+        ctx.flush()
         assert not b.host_valid            # freshest copy on device
         before = ctx.field_cache.stats.page_outs
         b.to_numpy()                       # CPU access
@@ -88,6 +90,7 @@ class TestLRUSpill:
         # cycle through: each assignment needs 2-3 fields resident
         for f in fields:
             dest.assign(2.0 * f)
+        ctx.flush()
         assert ctx.field_cache.stats.spills >= 1
 
     def test_spilled_dirty_field_is_paged_out_first(self):
@@ -116,9 +119,15 @@ class TestLRUSpill:
         for f in (a, b, c):
             f.gaussian(rng)
         dest = latt_fermion(lattice, context=ctx)
+        # flush between statements: the deferred queue would otherwise
+        # fuse the chain into one kernel with a larger working set,
+        # which is not the access pattern this test probes
         dest.assign(a + b)     # a, b, dest resident
+        ctx.flush()
         dest.assign(dest + b)  # touch b again; a is now LRU
+        ctx.flush()
         dest.assign(dest + c)  # needs room: a must be the victim
+        ctx.flush()
         assert not ctx.field_cache.is_resident(a)
         assert ctx.field_cache.is_resident(b)
 
@@ -132,6 +141,7 @@ class TestLRUSpill:
         dest = latt_fermion(lattice, context=ctx)
         with pytest.raises(SpillImpossible):
             dest.assign(2.0 * a)   # needs 2 fermions; only 1.5 fit
+            ctx.flush()            # the deferred launch raises here
 
     def test_deleted_field_releases_device_memory(self):
         lattice = Lattice((4, 4, 4, 4))
@@ -140,6 +150,7 @@ class TestLRUSpill:
         a.gaussian(np.random.default_rng(5))
         dest = latt_fermion(lattice, context=ctx)
         dest.assign(2.0 * a)
+        ctx.flush()
         resident = ctx.field_cache.resident_bytes()
         del a
         import gc

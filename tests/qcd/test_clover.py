@@ -124,7 +124,9 @@ class TestExtensionMechanism:
         psi.gaussian(rng)
         chi = latt_fermion(lat4)
         clover.apply(chi, psi)
+        ctx.flush()
         n0 = ctx.kernel_cache.stats.n_kernels
         clover.apply(chi, psi)
         clover.apply(chi, psi)
+        ctx.flush()
         assert ctx.kernel_cache.stats.n_kernels == n0

@@ -43,10 +43,15 @@ class TestCLI:
 
     def test_covers_the_kernel_families(self, run):
         _, out = run
-        assert "eval_" in out          # expression kernels (dslash, clover)
-        assert "red_" in out           # reduction kernels
+        assert "fus_" in out           # fused statement groups (dslash,
+        assert "red_" in out           # clover); reduction kernels
         assert "gather_w" in out       # face copies
         assert "scatter_w" in out
+
+    def test_reports_cache_and_fusion_stats(self, run):
+        _, out = run
+        assert "module cache:" in out
+        assert "fused group(s)" in out
 
     def test_dslash_stencil_findings_surface(self, run):
         _, out = run
@@ -69,10 +74,19 @@ class TestJSON:
     def test_exit_status_and_schema_version(self, run_json):
         status, report = run_json
         assert status == 0
-        assert report["schema_version"] == 1
+        assert report["schema_version"] == 2
         assert report["summary"]["status"] == "ok"
         assert report["summary"]["errors"] == 0
         assert report["summary"]["kernels"] == len(report["kernels"])
+
+    def test_module_cache_and_fusion_stats(self, run_json):
+        _, report = run_json
+        mc = report["module_cache"]
+        assert mc["misses"] > 0          # the suite compiled something
+        assert mc["hits"] >= 0
+        fus = report["fusion"]
+        assert fus["groups"] > 0         # the suite fused something
+        assert fus["fused_statements"] > fus["groups"]
 
     def test_kernel_records_have_the_documented_shape(self, run_json):
         _, report = run_json

@@ -48,6 +48,15 @@ for label, t in (("overlap ON ", t_on), ("overlap OFF", t_off)):
 gain = (t_off.total_s / t_on.total_s - 1) * 100
 print(f"  overlap hides {gain:.1f}% at this tiny volume\n")
 
+if t_on.timeline is not None:
+    lanes = t_on.timeline.lane_busy()
+    print("overlap-ON stream timeline (one Dslash window):")
+    for lane in ("compute", "comm"):
+        print(f"  {lane:>7}: {lanes.get(lane, 0.0) * 1e6:8.1f} us busy")
+    print(f"  makespan {t_on.timeline.end_s * 1e6:.1f} us "
+          f"vs serial sum {t_on.serial_s * 1e6:.1f} us "
+          f"(overlap {t_on.timeline.overlap_fraction * 100:.1f}%)\n")
+
 # --- modeled part: the Fig. 6 volume sweep ------------------------------
 print("Fig. 6 sweep (modeled, 2x K20m ECC-on, GFLOPS):")
 curves = figure_6(ls=[8, 16, 24, 32, 40])

@@ -3,7 +3,7 @@
 from .grid import Decomposition, DecompositionError, ProcessorGrid
 from .netmodel import GEMINI, IB_QDR_CUDA_AWARE, IB_QDR_STAGED, NetworkModel
 from .overlap import DistributedWilsonDslash, DslashTiming
-from .vm import DistributedField, ExchangeResult, Timeline, VirtualMachine
+from .vm import DistributedField, ExchangeResult, VirtualMachine
 
 __all__ = [
     "Decomposition",
@@ -17,6 +17,5 @@ __all__ = [
     "IB_QDR_STAGED",
     "NetworkModel",
     "ProcessorGrid",
-    "Timeline",
     "VirtualMachine",
 ]

@@ -13,7 +13,7 @@ times.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from ..core.expr import adj
 from ..qdp.lattice import Subset
@@ -35,14 +35,31 @@ class DslashTiming:
     main_inner_s: float
     main_face_s: float
     overlap: bool
+    #: makespan of this apply's window on the VM's stream-runtime
+    #: timeline (``None`` when the runtime ran in serial mode); when
+    #: set it *is* the total — event-ordered lanes, not the coarse
+    #: two-term max below
+    timeline_s: float | None = None
+    #: the window's spans (a :class:`repro.runtime.Timeline` view),
+    #: exportable with :func:`repro.runtime.write_chrome_trace`
+    timeline: object = field(default=None, repr=False, compare=False)
 
     @property
     def total_s(self) -> float:
+        if self.timeline_s is not None:
+            return self.timeline_s
         if self.overlap:
             hidden = max(self.comm_s,
                          self.interior_fill_s + self.main_inner_s)
             return (self.prepare_s + self.gather_s + hidden
                     + self.scatter_s + self.main_face_s)
+        return (self.prepare_s + self.gather_s + self.comm_s
+                + self.interior_fill_s + self.scatter_s
+                + self.main_inner_s + self.main_face_s)
+
+    @property
+    def serial_s(self) -> float:
+        """The no-overlap serial sum of every component."""
         return (self.prepare_s + self.gather_s + self.comm_s
                 + self.interior_fill_s + self.scatter_s
                 + self.main_inner_s + self.main_face_s)
@@ -108,6 +125,9 @@ class DistributedWilsonDslash:
         """dest = D psi, returning the modeled timing breakdown."""
         vm = self.vm
         nd = vm.local_lattice.nd
+        # window this apply on the VM timeline: the makespan between
+        # the two synchronization points is the overlapped total
+        t_begin = vm.runtime.synchronize()
 
         # 1. backward-hop temporaries t_mu = adj(u_mu) * psi (local)
         prepare = 0.0
@@ -121,8 +141,10 @@ class DistributedWilsonDslash:
         gather = 0.0
         comm = 0.0
         for mu in range(nd):
-            ex_f = vm.exchange(psi, mu, +1)
-            ex_b = vm.exchange(self.tb[mu], mu, -1)
+            # non-overlap mode runs the textbook sequential schedule:
+            # every send completes before anything else is enqueued
+            ex_f = vm.exchange(psi, mu, +1, blocking=not overlap)
+            ex_b = vm.exchange(self.tb[mu], mu, -1, blocking=not overlap)
             exchanges.append((mu, ex_f, ex_b))
             gather += ex_f.gather_time + ex_b.gather_time
             comm += ex_f.comm_time + ex_b.comm_time
@@ -157,8 +179,13 @@ class DistributedWilsonDslash:
             main_inner = vm.assign_local(
                 dest, lambda r: self._main_expr(r, sign))
 
+        timeline_s = None
+        window = None
+        if vm.runtime.enabled:
+            timeline_s = vm.runtime.synchronize() - t_begin
+            window = vm.timeline.since(t_begin)
         return DslashTiming(
             prepare_s=prepare, gather_s=gather, comm_s=comm,
             interior_fill_s=interior_fill, scatter_s=scatter,
             main_inner_s=main_inner, main_face_s=main_face,
-            overlap=overlap)
+            overlap=overlap, timeline_s=timeline_s, timeline=window)

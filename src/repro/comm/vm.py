@@ -12,11 +12,21 @@ device buffers with generated kernels (paper Sec. V), moves the bytes
 between the ranks' device pools, and scatters them on the receiving
 side — so multi-rank results are bit-comparable to single-rank runs,
 which the integration tests assert.
+
+Modeled time lands on the VM's own stream runtime
+(:mod:`repro.runtime.stream`): collective kernel steps (the max over
+ranks) queue on the ``compute`` lane, halo messages and scalar
+allreduces on the ``comm`` lane.  A message waits on the event of the
+gather that filled its send buffer, and the halo scatter waits on the
+message's completion event — so communication genuinely overlaps
+whatever compute is enqueued in between, and ``vm.timeline`` reports
+the overlapped makespan, per-lane busy time and the critical path
+instead of a flat per-component sum.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -28,32 +38,10 @@ from ..device.specs import DeviceSpec, K20X_ECC_OFF
 from ..qdp.fields import LatticeField
 from ..qdp.lattice import Lattice
 from ..qdp.typesys import TypeSpec
+from ..runtime.stream import Event, StreamRuntime
 from .faces import FaceKernels
 from .grid import Decomposition, ProcessorGrid
 from .netmodel import IB_QDR_CUDA_AWARE, NetworkModel
-
-
-@dataclass
-class Timeline:
-    """Accumulated modeled wall-clock, by component."""
-
-    kernel_s: float = 0.0
-    gather_s: float = 0.0
-    scatter_s: float = 0.0
-    comm_s: float = 0.0
-    reduce_s: float = 0.0
-
-    @property
-    def total_s(self) -> float:
-        return (self.kernel_s + self.gather_s + self.scatter_s
-                + self.comm_s + self.reduce_s)
-
-    def add(self, other: "Timeline") -> None:
-        self.kernel_s += other.kernel_s
-        self.gather_s += other.gather_s
-        self.scatter_s += other.scatter_s
-        self.comm_s += other.comm_s
-        self.reduce_s += other.reduce_s
 
 
 class DistributedField:
@@ -63,6 +51,7 @@ class DistributedField:
                  name: str | None = None):
         self.vm = vm
         self.spec = spec
+        self.name = name or "dfield"
         self.shards = [LatticeField(vm.local_lattice, spec,
                                     context=vm.contexts[r],
                                     name=f"{name or 'dfield'}@r{r}")
@@ -109,7 +98,8 @@ class VirtualMachine:
                  spec: DeviceSpec = K20X_ECC_OFF,
                  net: NetworkModel = IB_QDR_CUDA_AWARE,
                  pool_capacity: int | None = None,
-                 autotune: bool = True):
+                 autotune: bool = True,
+                 streams: bool | None = None):
         self.decomp = Decomposition(tuple(int(d) for d in global_dims),
                                     ProcessorGrid(tuple(int(d)
                                                         for d in grid_dims)))
@@ -123,7 +113,11 @@ class VirtualMachine:
                          for _ in range(self.nranks)]
         self.face_kernels = [FaceKernels(c.kernel_cache)
                              for c in self.contexts]
-        self.timeline = Timeline()
+        #: the VM's stream runtime: the *collective* step timeline
+        #: (max-over-ranks costs), distinct from each rank context's
+        #: per-device runtime.  ``streams=None`` consults REPRO_STREAMS.
+        self.runtime = StreamRuntime(enabled=streams)
+        self.timeline = self.runtime.timeline
         # persistent per-(rank, mu, sign) send/recv buffers
         self._buffers: dict[tuple, tuple[int, int]] = {}
 
@@ -155,14 +149,17 @@ class VirtualMachine:
         ``build_expr(rank)`` returns the expression for that rank's
         shard (it must not contain boundary-crossing shifts — use
         :meth:`shift_into` for those).  Returns the modeled step time
-        (max over ranks) and adds it to the timeline.
+        (max over ranks) and queues it on the compute lane.
         """
         worst = 0.0
         for r in range(self.nranks):
             cost = evaluate(dest.shards[r], build_expr(r), subset=subset,
                             context=self.contexts[r])
             worst = max(worst, cost.time_s)
-        self.timeline.kernel_s += worst
+        name = f"assign:{dest.name}"
+        if subset is not None:
+            name += f"[{subset.name}]"
+        self.runtime.compute.enqueue(name, worst, "kernel")
         return worst
 
     # -- reductions --------------------------------------------------------------
@@ -174,12 +171,28 @@ class VirtualMachine:
         hops = max(1, math.ceil(math.log2(max(self.nranks, 2))))
         return 2 * hops * self.net.latency_s
 
+    def _charge_allreduce(self, name: str) -> None:
+        """Queue a scalar allreduce on the comm lane.
+
+        An allreduce is a synchronization point: it consumes per-rank
+        partials (wait on compute), and the host blocks on the scalar
+        before it can launch anything else (compute waits on comm
+        after).  On the timeline it therefore never overlaps — which
+        is exactly the latency wall the paper's strong-scaling
+        discussion attributes to global sums.
+        """
+        rt = self.runtime
+        rt.comm.wait_event(rt.compute.record_event())
+        rt.comm.enqueue(name, self._allreduce_time(), "reduce",
+                        args={"ranks": self.nranks})
+        rt.compute.wait_event(rt.comm.record_event())
+
     def norm2(self, x: DistributedField, subset=None) -> float:
         total = 0.0
         for r in range(self.nranks):
             total += norm2(x.shards[r], subset=subset,
                            context=self.contexts[r])
-        self.timeline.reduce_s += self._allreduce_time()
+        self._charge_allreduce(f"allreduce:norm2:{x.name}")
         return total
 
     def innerProduct(self, a: DistributedField, b: DistributedField,
@@ -188,13 +201,14 @@ class VirtualMachine:
         for r in range(self.nranks):
             total += innerProduct(a.shards[r], b.shards[r], subset=subset,
                                   context=self.contexts[r])
-        self.timeline.reduce_s += self._allreduce_time()
+        self._charge_allreduce(f"allreduce:dot:{a.name}.{b.name}")
         return total
 
     # -- halo exchange ------------------------------------------------------------
 
     def exchange(self, src: DistributedField, mu: int, sign: int,
-                 run_gather: bool = True) -> "ExchangeResult":
+                 run_gather: bool = True,
+                 blocking: bool = False) -> "ExchangeResult":
         """Move the halo for ``shift(src, sign, mu)``.
 
         The receiver of the forward shift needs the sender's lower
@@ -204,6 +218,15 @@ class VirtualMachine:
         buffer addresses plus component times.  Scattering into the
         destination is a separate step (so the overlap scheduler can
         place it after the compute-on-inner-sites kernel).
+
+        On the timeline the gather runs on the compute lane and the
+        message on the comm lane, ordered after the gather's event; the
+        returned :class:`ExchangeResult` carries the message completion
+        event, which :meth:`scatter_halo` makes the compute lane wait
+        on.  Compute enqueued between the two genuinely overlaps the
+        message.  ``blocking=True`` synchronizes the runtime after the
+        send instead — the sequential schedule, where nothing hides
+        behind the wire time.
         """
         local = self.local_lattice
         spec = src.spec
@@ -250,16 +273,30 @@ class VirtualMachine:
             self.contexts[dst_rank].device.pool.write(rbuf, data)
         comm_time = self.net.message_time(nbytes)
 
-        self.timeline.gather_s += gather_worst
-        self.timeline.comm_s += comm_time
+        rt = self.runtime
+        tag = f"{mu}{'+' if sign > 0 else '-'}:{src.name}"
+        if run_gather:
+            rt.compute.enqueue(f"gather:{tag}", gather_worst, "gather",
+                               args={"bytes": nbytes, "nface": nface})
+        # the message reads the gathered send buffer
+        rt.comm.wait_event(rt.compute.record_event())
+        rt.comm.enqueue(f"halo:{tag}", comm_time, "comm",
+                        args={"bytes": nbytes})
+        event = rt.comm.record_event()
+        if blocking:
+            rt.synchronize()
         return ExchangeResult(mu=mu, sign=sign, nface=nface,
                               recv_sites=recv_sites, recv_addrs=recv_addrs,
                               gather_time=gather_worst, comm_time=comm_time,
-                              nbytes=nbytes)
+                              nbytes=nbytes, event=event)
 
     def scatter_halo(self, dest: DistributedField,
                      ex: "ExchangeResult") -> float:
-        """Unpack a received halo into ``dest``'s face sites."""
+        """Unpack a received halo into ``dest``'s face sites.
+
+        The scatter kernel waits on the exchange's message event: it
+        cannot start until the halo has landed in the recv buffer.
+        """
         local = self.local_lattice
         spec = dest.spec
         worst = 0.0
@@ -283,7 +320,12 @@ class VirtualMachine:
                                      block_size=128, precision=spec.precision)
             ctx.field_cache.mark_device_dirty(dest.shards[r])
             worst = max(worst, cost.time_s)
-        self.timeline.scatter_s += worst
+        rt = self.runtime
+        if ex.event is not None:
+            rt.compute.wait_event(ex.event)
+        tag = f"{ex.mu}{'+' if ex.sign > 0 else '-'}:{dest.name}"
+        rt.compute.enqueue(f"scatter:{tag}", worst, "scatter",
+                           args={"bytes": ex.nbytes, "nface": ex.nface})
         return worst
 
     def fill_shift_interior(self, dest: DistributedField,
@@ -298,13 +340,13 @@ class VirtualMachine:
                             shift_expr(src.shards[r].ref(), sign, mu),
                             subset=inner, context=self.contexts[r])
             worst = max(worst, cost.time_s)
-        self.timeline.kernel_s += worst
+        self.runtime.compute.enqueue(f"fill:{dest.name}", worst, "kernel")
         return worst
 
     def shift_into(self, dest: DistributedField, src: DistributedField,
                    mu: int, sign: int) -> None:
         """dest = shift(src, sign, mu), non-overlapped (sequential)."""
-        ex = self.exchange(src, mu, sign)
+        ex = self.exchange(src, mu, sign, blocking=True)
         self.fill_shift_interior(dest, src, mu, sign)
         self.scatter_halo(dest, ex)
 
@@ -319,6 +361,9 @@ class ExchangeResult:
     gather_time: float
     comm_time: float
     nbytes: int
+    #: comm-lane completion event of the halo message; the scatter
+    #: waits on it (``None`` only for hand-built results in tests)
+    event: Event | None = field(default=None, repr=False, compare=False)
 
 
 _interior_cache: dict[tuple, object] = {}

@@ -9,13 +9,13 @@ lazily by :func:`qdp_init`; multi-rank runs (the virtual machine in
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from ..device.autotune import Autotuner
 from ..device.gpu import Device
 from ..device.specs import DeviceSpec, K20X_ECC_OFF
 from ..driver.cache import KernelCache
-from ..memory.cache import FieldCache
+from ..memory.cache import CacheStats, FieldCache
 
 
 @dataclass
@@ -31,6 +31,30 @@ class ContextStats:
     #: generated-module cache outcomes (see :class:`ModuleCache`)
     module_cache_hits: int = 0
     module_cache_misses: int = 0
+    #: backrefs wired by :class:`Context` so timeline/cache figures
+    #: read live through ``ctx.stats`` (not copied counters)
+    _runtime: object = field(default=None, repr=False, compare=False)
+    _field_cache: object = field(default=None, repr=False, compare=False)
+
+    @property
+    def overlap_fraction(self) -> float:
+        """Fraction of serial modeled time hidden by lane overlap."""
+        return self._runtime.timeline.overlap_fraction if self._runtime else 0.0
+
+    @property
+    def lane_busy_s(self) -> dict:
+        """Busy seconds per timeline lane (compute/h2d/d2h/...)."""
+        return self._runtime.timeline.lane_busy() if self._runtime else {}
+
+    @property
+    def critical_path_s(self) -> float:
+        """Duration of the longest dependent chain on the timeline."""
+        return self._runtime.timeline.critical_path_s if self._runtime else 0.0
+
+    @property
+    def cache(self) -> CacheStats:
+        """The field software-cache counters (hits, spills, HWM...)."""
+        return self._field_cache.stats if self._field_cache else CacheStats()
 
 
 class ModuleCache(dict):
@@ -73,7 +97,8 @@ class Context:
         self.field_cache = FieldCache(self.device)
         self.autotuner = Autotuner(self.device) if autotune else None
         self.default_block_size = default_block_size
-        self.stats = ContextStats()
+        self.stats = ContextStats(_runtime=self.device.runtime,
+                                  _field_cache=self.field_cache)
         #: structural expression signature -> (PTXModule, plan, compiled)
         self.module_cache: ModuleCache = ModuleCache(self.stats)
         #: kernel name -> ptx.absint.KernelEnv covering every launch

@@ -4,8 +4,15 @@ A :class:`Device` owns the flat device memory pool and executes
 JIT-compiled kernels.  Execution is *functionally real* — the compiled
 kernel reads and writes the pool through typed views, producing the
 same answers a GPU would — while *time* is modeled by
-:mod:`repro.device.memmodel` and accumulated on a device clock.  All
-benchmark numbers reported by the harness come from this clock.
+:mod:`repro.device.memmodel` and accounted twice:
+
+* the legacy serial ``clock`` accumulates every modeled cost in
+  program order (the one-clock model, still what ``REPRO_STREAMS=off``
+  reports as the makespan), and
+* the :class:`~repro.runtime.stream.StreamRuntime` places each cost as
+  a span on its stream's lane of the unified timeline — kernels on the
+  compute stream, H2D/D2H copies on dedicated copy streams — so copy
+  and compute time genuinely overlap unless an event orders them.
 """
 
 from __future__ import annotations
@@ -18,6 +25,7 @@ import numpy as np
 from ..driver.jitcompiler import CompiledKernel
 from ..memory.pool import DevicePool
 from ..ptx.isa import KernelInfo
+from ..runtime.stream import Stream, StreamRuntime
 from .memmodel import KernelCost, LaunchError, blocks_per_sm, kernel_cost, transfer_time
 from .specs import DeviceSpec, K20X_ECC_OFF
 
@@ -70,8 +78,12 @@ class Device:
         self.pool = DevicePool(pool_capacity)
         self._views = {name: self.pool.view(name) for name in _VIEW_DTYPES}
         self.stats = DeviceStats()
-        #: modeled device time, seconds since construction
+        #: serial reference clock: the sum of every modeled cost, in
+        #: program order (what a one-stream device would take)
         self.clock = 0.0
+        #: the stream/event runtime; all modeled costs also land as
+        #: spans on its lane-based timeline
+        self.runtime = StreamRuntime()
 
     # -- memory ---------------------------------------------------------
 
@@ -81,23 +93,46 @@ class Device:
     def mem_free(self, addr: int) -> None:
         self.pool.free(addr)
 
-    def memcpy_htod(self, addr: int, host: np.ndarray) -> float:
-        """Copy host array to device; returns the modeled time."""
+    def memcpy_htod(self, addr: int, host: np.ndarray,
+                    stream: Stream | None = None,
+                    name: str = "memcpy_htod") -> float:
+        """Copy host array to device; returns the modeled time.
+
+        The copy itself happens immediately (data is real); its time
+        is modeled on ``stream`` — the dedicated H2D copy stream by
+        default, so uploads overlap with compute unless an event
+        orders them.  Use ``stream.record_event()`` right after the
+        call to obtain the completion event.
+        """
         self.pool.write(addr, host)
         t = transfer_time(self.spec, host.nbytes)
         self.stats.bytes_h2d += host.nbytes
         self.stats.n_h2d += 1
         self.stats.modeled_transfer_time_s += t
         self.clock += t
+        s = stream if stream is not None else self.runtime.h2d
+        s.enqueue(name, t, "h2d", args={"bytes": host.nbytes})
         return t
 
-    def memcpy_dtoh(self, addr: int, nbytes: int, dtype=np.uint8) -> np.ndarray:
+    def memcpy_dtoh(self, addr: int, nbytes: int, dtype=np.uint8,
+                    stream: Stream | None = None,
+                    name: str = "memcpy_dtoh") -> np.ndarray:
+        """Copy device memory back to the host.
+
+        Modeled on the dedicated D2H copy stream by default, ordered
+        after all compute enqueued so far (the copy reads what kernels
+        wrote — the conservative CUDA event the software cache would
+        record).
+        """
         out = self.pool.read(addr, nbytes, dtype=dtype)
         t = transfer_time(self.spec, nbytes)
         self.stats.bytes_d2h += nbytes
         self.stats.n_d2h += 1
         self.stats.modeled_transfer_time_s += t
         self.clock += t
+        s = stream if stream is not None else self.runtime.d2h
+        s.wait_event(self.runtime.compute.record_event())
+        s.enqueue(name, t, "d2h", args={"bytes": nbytes})
         return out
 
     # -- kernel launch ----------------------------------------------------
@@ -109,13 +144,15 @@ class Device:
     def launch(self, kernel: CompiledKernel, info: KernelInfo,
                params: dict, nsites: int, block_size: int,
                precision: str = "f64",
-               regs_per_thread: int | None = None) -> KernelCost:
+               regs_per_thread: int | None = None,
+               stream: Stream | None = None) -> KernelCost:
         """Launch ``kernel`` over ``nsites`` threads of real work.
 
         Executes the compiled kernel against device memory and charges
-        the modeled time to the device clock.  Raises
-        :class:`LaunchError` (without executing) when the launch
-        configuration exhausts SM resources.
+        the modeled time to the device clock and to ``stream`` (the
+        compute stream by default).  Raises :class:`LaunchError`
+        (without executing) when the launch configuration exhausts SM
+        resources.
         """
         import time as _time
 
@@ -146,15 +183,21 @@ class Device:
         per = self.stats.per_kernel_time_s
         per[kernel.name] = per.get(kernel.name, 0.0) + cost.time_s
         self.clock += cost.time_s
+        s = stream if stream is not None else self.runtime.compute
+        s.enqueue(kernel.name, cost.time_s, "kernel",
+                  args={"bytes": cost.bytes_moved, "nsites": nsites,
+                        "block": block_size})
         return cost
 
-    def reduce_f64(self, addr: int, count: int) -> float:
+    def reduce_f64(self, addr: int, count: int,
+                   stream: Stream | None = None) -> float:
         """Device-side sum reduction over ``count`` f64 partials.
 
         The second stage of a two-stage reduction: a generated kernel
         writes per-thread partials, this primitive folds them.  Time
         is modeled as one full-occupancy streaming pass over the
-        partial buffer.
+        partial buffer, on the compute stream (it consumes what the
+        partials kernel just wrote there).
         """
         view = self._views["float64"]
         start = addr >> 3
@@ -167,9 +210,24 @@ class Device:
         self.stats.fold_launches += 1
         self.stats.modeled_kernel_time_s += t
         self.clock += t
+        s = stream if stream is not None else self.runtime.compute
+        s.enqueue("reduce_f64", t, "fold", args={"count": count})
         return value
 
     def charge_jit(self, modeled_seconds: float) -> None:
-        """Account the modeled driver-JIT compilation cost."""
+        """Account the modeled driver-JIT compilation cost.
+
+        Driver JIT (``cuModuleLoadData``) is synchronous: it occupies
+        the compute lane — nothing launches while the module loads.
+        """
         self.stats.modeled_jit_time_s += modeled_seconds
         self.clock += modeled_seconds
+        self.runtime.compute.enqueue("driver_jit", modeled_seconds, "jit")
+
+    def charge_interface_transfer(self, modeled_seconds: float,
+                                  name: str = "interface_xfer") -> None:
+        """Account modeled layout-change/PCIe time charged outside the
+        pool-copy paths (e.g. the non-device QUDA interface)."""
+        self.stats.modeled_transfer_time_s += modeled_seconds
+        self.clock += modeled_seconds
+        self.runtime.h2d.enqueue(name, modeled_seconds, "h2d")

@@ -134,6 +134,41 @@ def fusion_mode(default: str = "on") -> str:
     return default
 
 
+STREAM_MODES = ("on", "off")
+
+_warned_stream_values: set[str] = set()
+
+
+def stream_mode(default: str = "on") -> str:
+    """The stream/event runtime mode from the ``REPRO_STREAMS`` knob.
+
+    ``on`` (default)
+        The modeled timeline runs on concurrent lanes — compute, H2D
+        and D2H copies, and communication overlap unless an event
+        orders them (:mod:`repro.runtime.stream`).  Results are bitwise
+        identical either way; only modeled *time* changes.
+    ``off``
+        All lanes collapse onto one serial stream: the makespan equals
+        the serial sum of every modeled cost (the pre-runtime model).
+
+    Unrecognized values fall back to the default with a one-time
+    warning, mirroring :func:`verify_mode`.
+    """
+    raw = os.environ.get("REPRO_STREAMS")
+    if raw is None:
+        return default
+    mode = raw.strip().lower()
+    if mode in STREAM_MODES:
+        return mode
+    if raw not in _warned_stream_values:
+        _warned_stream_values.add(raw)
+        warnings.warn(
+            f"ignoring unrecognized REPRO_STREAMS={raw!r}: accepted "
+            f"values are {', '.join(STREAM_MODES)}; using "
+            f"{default!r}", RuntimeWarning, stacklevel=3)
+    return default
+
+
 def emit_warnings(diagnostics, stacklevel: int = 3,
                   min_severity: Severity = Severity.WARNING) -> None:
     """Report diagnostics through the :mod:`warnings` machinery.

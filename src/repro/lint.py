@@ -28,10 +28,10 @@ Exit status:
 ``2``
     Usage error (bad command line), per argparse convention.
 
-JSON schema (``schema_version`` 2)::
+JSON schema (``schema_version`` 3)::
 
     {
-      "schema_version": 2,
+      "schema_version": 3,
       "lattice": [int, ...],
       "passes": [str, ...],            # PTX verifier pass names
       "ast_passes": [str, ...],        # expression-AST lint pass names
@@ -67,6 +67,21 @@ JSON schema (``schema_version`` 2)::
         "groups": int,                 # multi-statement kernels launched
         "fused_statements": int        # statements they covered
       },
+      "runtime": {                     # stream/event runtime timeline
+        "streams": "on" | "off",       # the REPRO_STREAMS mode it ran in
+        "elapsed_s": float,            # makespan over all lanes
+        "serial_s": float,             # serial sum of every span
+        "overlap_fraction": float,     # 1 - elapsed/serial
+        "critical_path_s": float,
+        "lane_busy_s": {str: float}    # busy seconds per lane
+      },
+      "cache": {                       # field software-cache counters
+        "hits": int, "misses": int,
+        "page_ins": int, "page_outs": int,
+        "spills": int, "evictions_clean": int,
+        "bytes_paged_in": int, "bytes_paged_out": int,
+        "resident_bytes_hwm": int
+      },
       "summary": {
         "kernels": int, "diagnostics": int,
         "errors": int, "warnings": int, "notes": int,
@@ -79,6 +94,7 @@ JSON schema (``schema_version`` 2)::
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import sys
 import warnings
@@ -261,7 +277,7 @@ def main(argv=None) -> int:
                         help="lattice extents (default 4,4,4,4)")
     parser.add_argument("--json", action="store_true",
                         help="emit the report as a JSON document "
-                             "(schema_version 1; see module docstring)")
+                             "(schema_version 3; see module docstring)")
     parser.add_argument("-v", "--verbose", action="store_true",
                         help="print every diagnostic, notes included")
     args = parser.parse_args(argv)
@@ -323,19 +339,31 @@ def main(argv=None) -> int:
             print(f"  {d.render()}")
 
     failed = worst >= Severity.ERROR
+    timeline = ctx.device.runtime.timeline
+    cache = ctx.field_cache.stats
     if text:
         print(f"\n-- caches " + "-" * 44)
         print(f"  module cache: {ctx.stats.module_cache_hits} hit(s), "
               f"{ctx.stats.module_cache_misses} miss(es)")
         print(f"  fusion: {ctx.stats.fusion_groups} fused group(s) "
               f"covering {ctx.stats.fused_statements} statement(s)")
+        print(f"  field cache: {cache.hits} hit(s), {cache.misses} "
+              f"miss(es), {cache.spills} spill(s), high water "
+              f"{cache.resident_bytes_hwm} bytes")
+        print(f"\n-- runtime (REPRO_STREAMS="
+              f"{'on' if ctx.device.runtime.enabled else 'off'}) "
+              + "-" * 24)
+        print(f"  makespan {timeline.end_s * 1e6:.1f} us; serial sum "
+              f"{timeline.serial_s * 1e6:.1f} us; overlap "
+              f"{timeline.overlap_fraction:.1%}; critical path "
+              f"{timeline.critical_path_s * 1e6:.1f} us")
         status = "FAIL" if failed else "ok"
         print(f"\nrepro.lint: {status}: {len(suite)} kernel(s) verified, "
               f"{n_diags} diagnostic(s), worst severity "
               f"{worst.label if n_diags else 'none'}")
     else:
         report = {
-            "schema_version": 2,
+            "schema_version": 3,
             "lattice": list(args.lattice),
             "passes": list(PASSES),
             "ast_passes": list(LINT_PASSES),
@@ -349,6 +377,15 @@ def main(argv=None) -> int:
                 "groups": ctx.stats.fusion_groups,
                 "fused_statements": ctx.stats.fused_statements,
             },
+            "runtime": {
+                "streams": "on" if ctx.device.runtime.enabled else "off",
+                "elapsed_s": timeline.end_s,
+                "serial_s": timeline.serial_s,
+                "overlap_fraction": timeline.overlap_fraction,
+                "critical_path_s": timeline.critical_path_s,
+                "lane_busy_s": timeline.lane_busy(),
+            },
+            "cache": dataclasses.asdict(cache),
             "summary": {
                 "kernels": len(suite),
                 "diagnostics": n_diags,

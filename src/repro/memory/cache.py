@@ -11,6 +11,16 @@ timestamp of the last reference from a compute kernel, picks victims.
 The cache fully automates CUDA memory management: user code never
 issues a transfer.  Coherence is tracked per field with two validity
 bits (host/device); the cache is the only component that mutates them.
+
+Transfers are issued *asynchronously* on the device's dedicated copy
+streams (:mod:`repro.runtime.stream`): page-ins go to the H2D stream
+and record a per-entry ready event that the compute stream waits on
+before any kernel may read the upload; LRU writebacks go to the D2H
+stream (ordered after all compute enqueued so far) and record a reuse
+event that gates the *next* upload — freed device memory may be
+reallocated, so the writeback must drain before new bytes land on it.
+Data still moves eagerly in program order, so results are bitwise
+identical to the serial model; only modeled *time* overlaps.
 """
 
 from __future__ import annotations
@@ -25,6 +35,7 @@ from .pool import DeviceOutOfMemory
 
 if TYPE_CHECKING:  # the device drags in the driver: hint-only import
     from ..device.gpu import Device
+    from ..runtime.stream import Event
 
 
 class CacheableField(Protocol):
@@ -45,16 +56,26 @@ class CacheEntry:
     nbytes: int
     last_use: int
     ref: weakref.ref
+    #: H2D completion event of the pending upload; the compute stream
+    #: waits on it before a kernel may read this entry
+    ready: "Event | None" = None
 
 
 @dataclass
 class CacheStats:
+    #: residency hits/misses per requested field in
+    #: :meth:`FieldCache.make_available` (a hit whose device copy is
+    #: stale still pays a refresh page-in)
+    hits: int = 0
+    misses: int = 0
     page_ins: int = 0
     page_outs: int = 0
     spills: int = 0
     bytes_paged_in: int = 0
     bytes_paged_out: int = 0
     evictions_clean: int = 0
+    #: high-water mark of bytes resident in the device pool
+    resident_bytes_hwm: int = 0
 
 
 class SpillImpossible(DeviceOutOfMemory):
@@ -69,6 +90,9 @@ class FieldCache:
         self.entries: dict[int, CacheEntry] = {}
         self.stats = CacheStats()
         self._clock = 0
+        #: D2H event of the most recent LRU writeback; the next upload
+        #: waits on it before reusing the freed device memory
+        self._reuse_event: "Event | None" = None
         #: called before any host<->device coherence transition that
         #: host code observes — the context wires this to its fusion
         #: queue so pending deferred statements launch first (the
@@ -114,11 +138,15 @@ class FieldCache:
         f = self._field_of(entry)
         if f is not None and f.device_valid and not f.host_valid:
             data = self.device.memcpy_dtoh(entry.addr, entry.nbytes,
-                                           dtype=f.host.dtype)
+                                           dtype=f.host.dtype,
+                                           name=f"pageout:f{uid}")
             f.host[...] = data[:f.host.size]
             f.host_valid = True
             self.stats.page_outs += 1
             self.stats.bytes_paged_out += entry.nbytes
+            # the freed memory may be handed right back out: gate the
+            # next upload on this writeback draining
+            self._reuse_event = self.device.runtime.d2h.record_event()
         else:
             self.stats.evictions_clean += 1
         if f is not None:
@@ -159,6 +187,7 @@ class FieldCache:
         for f in fields:
             entry = self.entries.get(f.uid)
             if entry is None:
+                self.stats.misses += 1
                 addr = self._allocate_with_spill(f.nbytes, pinned)
                 entry = CacheEntry(
                     addr=addr, nbytes=f.nbytes, last_use=now,
@@ -169,20 +198,40 @@ class FieldCache:
                     if not f.host_valid:
                         raise RuntimeError(
                             f"field {f.uid} has no valid copy anywhere")
-                    self.device.memcpy_htod(addr, f.host)
-                    f.device_valid = True
-                    self.stats.page_ins += 1
-                    self.stats.bytes_paged_in += f.nbytes
+                    self._page_in(entry, f)
             else:
+                self.stats.hits += 1
                 entry.last_use = now
                 if f.uid not in write_only and not f.device_valid:
                     # device copy stale (host was modified): refresh
-                    self.device.memcpy_htod(entry.addr, f.host)
-                    f.device_valid = True
-                    self.stats.page_ins += 1
-                    self.stats.bytes_paged_in += f.nbytes
+                    self._page_in(entry, f)
             addrs[f.uid] = entry.addr
+        # every upload must land before the kernel reads it: the
+        # compute stream waits each pending H2D ready event once
+        compute = self.device.runtime.compute
+        for f in fields:
+            entry = self.entries[f.uid]
+            if entry.ready is not None:
+                compute.wait_event(entry.ready)
+                entry.ready = None
+        self.stats.resident_bytes_hwm = max(
+            self.stats.resident_bytes_hwm, self.resident_bytes())
         return addrs
+
+    def _page_in(self, entry: CacheEntry, f: CacheableField) -> None:
+        """Async upload of ``f`` to its device slot on the H2D stream."""
+        h2d = self.device.runtime.h2d
+        if self._reuse_event is not None:
+            # writeback-before-reuse: the memory this upload targets
+            # may have just been vacated by a pending D2H writeback
+            h2d.wait_event(self._reuse_event)
+            self._reuse_event = None
+        self.device.memcpy_htod(entry.addr, f.host,
+                                name=f"pagein:f{f.uid}")
+        entry.ready = h2d.record_event()
+        f.device_valid = True
+        self.stats.page_ins += 1
+        self.stats.bytes_paged_in += f.nbytes
 
     def mark_device_dirty(self, f: CacheableField) -> None:
         """Record that a kernel wrote ``f``: host copy is now stale."""
@@ -203,7 +252,8 @@ class FieldCache:
         if entry is None or not f.device_valid:
             raise RuntimeError(f"field {f.uid} has no valid copy anywhere")
         data = self.device.memcpy_dtoh(entry.addr, entry.nbytes,
-                                       dtype=f.host.dtype)
+                                       dtype=f.host.dtype,
+                                       name=f"pageout:f{f.uid}")
         f.host[...] = data[:f.host.size]
         f.host_valid = True
         self.stats.page_outs += 1

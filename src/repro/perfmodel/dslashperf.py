@@ -169,10 +169,35 @@ def model_dslash_timing(l: int, precision: str, overlap: bool,
         main_inner = kcost(v_local, stats.main_bytes, stats.main_flops,
                            stats.main_regs)
         main_face = 0.0
+    # lay the schedule out on an (always-concurrent) stream runtime:
+    # the reported total is the event-ordered makespan, and the
+    # timeline can be exported as a Chrome trace
+    from ..runtime.stream import StreamRuntime
+
+    rt = StreamRuntime(enabled=True)
+    c, m = rt.compute, rt.comm
+    c.enqueue("prepare", prepare, "kernel")
+    c.enqueue("gather", gather, "gather")
+    m.wait_event(c.record_event())
+    m.enqueue("halo", comm, "comm", args={"bytes": gbytes})
+    comm_ev = m.record_event()
+    if overlap:
+        c.enqueue("interior_fill", interior_fill, "kernel")
+        c.enqueue("main_inner", main_inner, "kernel")
+        c.wait_event(comm_ev)           # halo must land before scatter
+        c.enqueue("scatter", scatter, "scatter")
+        c.enqueue("main_face", main_face, "kernel")
+    else:
+        c.wait_event(comm_ev)           # sequential: idle until it lands
+        c.enqueue("interior_fill", interior_fill, "kernel")
+        c.enqueue("scatter", scatter, "scatter")
+        c.enqueue("main_full", main_inner, "kernel")
+    timeline_s = rt.synchronize()
     return DslashTiming(prepare_s=prepare, gather_s=gather, comm_s=comm,
                         interior_fill_s=interior_fill, scatter_s=scatter,
                         main_inner_s=main_inner, main_face_s=main_face,
-                        overlap=overlap)
+                        overlap=overlap, timeline_s=timeline_s,
+                        timeline=rt.timeline)
 
 
 def figure_6(ls=None, stats_sp=None, stats_dp=None

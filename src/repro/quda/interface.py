@@ -61,8 +61,7 @@ class QudaSolver:
         nbytes = sum(f.nbytes for f in self.u) + sum(
             f.nbytes for f in fields)
         t = 2 * transfer_time(ctx.device.spec, nbytes)   # in and out
-        ctx.device.clock += t
-        ctx.device.stats.modeled_transfer_time_s += t
+        ctx.device.charge_interface_transfer(t, name="quda_layout_xfer")
         self.transfer_seconds_charged += t
 
     def _mdagm(self, psi: np.ndarray, sp: bool = False) -> np.ndarray:

@@ -1,0 +1,26 @@
+"""The simulated stream/event runtime: concurrent modeled lanes.
+
+:mod:`repro.runtime.stream`
+    :class:`Stream` / :class:`Event` / :class:`StreamRuntime` — the
+    CUDA-style execution lanes with per-stream modeled clocks.
+:mod:`repro.runtime.timeline`
+    :class:`Timeline` / :class:`Span` — the unified lane-based record
+    of every modeled cost, with overlap and critical-path analytics.
+:mod:`repro.runtime.trace`
+    Chrome-trace JSON export and the ``python -m repro.trace`` CLI.
+"""
+
+from .stream import Event, Stream, StreamRuntime
+from .timeline import Span, Timeline
+from .trace import chrome_trace, summarize, write_chrome_trace
+
+__all__ = [
+    "Event",
+    "Span",
+    "Stream",
+    "StreamRuntime",
+    "Timeline",
+    "chrome_trace",
+    "summarize",
+    "write_chrome_trace",
+]

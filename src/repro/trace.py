@@ -1,0 +1,12 @@
+"""``python -m repro.trace`` — stream-runtime trace summary CLI.
+
+Thin entry point; the implementation lives in
+:mod:`repro.runtime.trace` next to the Chrome-trace exporter.
+"""
+
+from .runtime.trace import main
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

@@ -9,13 +9,34 @@ import numpy as np
 import pytest
 
 from repro.core.context import Context
-from repro.memory.cache import SpillImpossible
+from repro.device.gpu import Device
+from repro.memory.cache import FieldCache, SpillImpossible
 from repro.qdp.fields import latt_fermion, latt_real
 from repro.qdp.lattice import Lattice
 
 
 def _fermion_bytes(lattice):
     return 24 * lattice.nsites * 8
+
+
+class _FakeField:
+    """Minimal CacheableField for direct cache-level tests with
+    chosen uids (real fields draw from a global counter)."""
+
+    def __init__(self, uid: int, nbytes: int = 1024):
+        self.uid = uid
+        self.host = np.zeros(nbytes, dtype=np.uint8)
+        self.host_valid = True
+        self.device_valid = False
+
+    @property
+    def nbytes(self) -> int:
+        return self.host.nbytes
+
+
+def _bare_cache(capacity_fields: float, nbytes: int = 1024):
+    dev = Device(pool_capacity=int(capacity_fields * nbytes))
+    return dev, FieldCache(dev)
 
 
 class TestResidency:
@@ -186,3 +207,88 @@ class TestCoherence:
             o.gaussian(rng)
             dest.assign(2.0 * o)    # churn the cache; a gets evicted
         assert np.array_equal(a.to_numpy(), snapshot)
+
+
+class TestSpillCornerCases:
+    """Eviction edge cases driven at the cache level with fake fields
+    (chosen uids, fixed sizes) so the LRU policy and the async D2H
+    ordering can be asserted deterministically."""
+
+    def test_spill_impossible_when_all_residents_pinned(self):
+        dev, cache = _bare_cache(2.5)
+        a, b = _FakeField(1), _FakeField(2)
+        cache.make_available([a, b])       # both resident + pinned
+        with pytest.raises(SpillImpossible):
+            cache.make_available([a, b, _FakeField(3)])
+        # the failed request must not have evicted the pinned fields
+        assert cache.is_resident(a) and cache.is_resident(b)
+
+    def test_pinned_set_is_per_call(self):
+        dev, cache = _bare_cache(2.5)
+        a, b = _FakeField(1), _FakeField(2)
+        cache.make_available([a, b])
+        # a new call pins only its own fields: eviction works again
+        cache.make_available([_FakeField(3)])
+        assert cache.stats.spills >= 1
+
+    def test_lru_tie_broken_by_creation_order(self):
+        # a and b are paged in by the same call (same last_use tick);
+        # the victim must be the older uid — deterministically
+        dev, cache = _bare_cache(2.5)
+        a, b = _FakeField(1), _FakeField(2)
+        cache.make_available([a, b])
+        cache.make_available([_FakeField(3)])
+        assert not cache.is_resident(a)
+        assert cache.is_resident(b)
+
+    def test_eviction_order_deterministic_across_runs(self):
+        def run():
+            dev, cache = _bare_cache(3.5)
+            fields = {i: _FakeField(i) for i in range(1, 7)}
+            for seq in ([1, 2, 3], [2], [4], [5], [1], [6]):
+                cache.make_available([fields[i] for i in seq])
+                for f in fields.values():
+                    f.device_valid = False     # force real page-ins
+            return [s.name for s in dev.runtime.timeline.spans
+                    if s.name.startswith("pagein:")]
+
+        first, second = run(), run()
+        assert first == second
+        assert len(first) > 6              # some fields paged in twice
+
+    def test_writeback_ordered_before_reuse(self):
+        # dirty spill goes out on the d2h stream; the next upload into
+        # the (possibly recycled) slot must wait for it to drain
+        dev, cache = _bare_cache(2.5)
+        a, b = _FakeField(1), _FakeField(2)
+        cache.make_available([a])
+        cache.mark_device_dirty(a)
+        cache.make_available([b])
+        cache.mark_device_dirty(b)
+        cache.make_available([_FakeField(3)])   # spills a (dirty)
+        spans = dev.runtime.timeline.spans
+        po = next(s for s in spans if s.name == "pageout:f1")
+        pi = next(s for s in spans if s.name == "pagein:f3")
+        assert po.lane == "d2h" and pi.lane == "h2d"
+        assert pi.t0 >= po.t1              # upload gated on writeback
+        assert po.sid in pi.deps
+        assert a.host_valid                # data survived the spill
+
+    def test_kernel_waits_for_pagein(self):
+        dev, cache = _bare_cache(4)
+        a = _FakeField(1)
+        cache.make_available([a])
+        k = dev.runtime.compute.enqueue("kern", 1e-6, "kernel")
+        pi = next(s for s in dev.runtime.timeline.spans
+                  if s.name == "pagein:f1")
+        assert k.t0 >= pi.t1               # compute gated on upload
+        assert pi.sid in k.deps
+
+    def test_hit_miss_and_hwm_counters(self):
+        dev, cache = _bare_cache(4)
+        a, b = _FakeField(1), _FakeField(2)
+        cache.make_available([a])
+        assert (cache.stats.misses, cache.stats.hits) == (1, 0)
+        cache.make_available([a, b])
+        assert (cache.stats.misses, cache.stats.hits) == (2, 1)
+        assert cache.stats.resident_bytes_hwm == a.nbytes + b.nbytes

@@ -1,0 +1,189 @@
+"""Unit tests for streams, events and the per-device runtime."""
+
+import warnings
+
+import pytest
+
+from repro.diagnostics import stream_mode
+from repro.runtime import Stream, StreamRuntime, Timeline
+
+
+class TestStream:
+    def test_in_order_queue(self):
+        tl = Timeline()
+        s = Stream(tl, "compute", "compute")
+        a = s.enqueue("A", 2.0, "kernel")
+        b = s.enqueue("B", 3.0, "kernel")
+        assert (a.t0, a.t1) == (0.0, 2.0)
+        assert (b.t0, b.t1) == (2.0, 5.0)
+        assert b.deps == (a.sid,)       # program order edge
+        assert s.clock == 5.0
+
+    def test_event_orders_across_streams(self):
+        tl = Timeline()
+        c = Stream(tl, "compute", "compute")
+        d = Stream(tl, "d2h", "d2h")
+        k = c.enqueue("kernel", 3.0, "kernel")
+        ev = c.record_event()
+        d.wait_event(ev)
+        copy = d.enqueue("copy", 1.0, "d2h")
+        assert copy.t0 == 3.0           # not before the kernel ends
+        assert k.sid in copy.deps
+
+    def test_unordered_streams_overlap(self):
+        tl = Timeline()
+        c = Stream(tl, "compute", "compute")
+        h = Stream(tl, "h2d", "h2d")
+        c.enqueue("kernel", 3.0, "kernel")
+        up = h.enqueue("upload", 2.0, "h2d")
+        assert up.t0 == 0.0             # concurrent with the kernel
+        assert tl.end_s == 3.0
+        assert tl.serial_s == 5.0
+
+    def test_wait_in_the_past_is_free(self):
+        tl = Timeline()
+        c = Stream(tl, "compute", "compute")
+        h = Stream(tl, "h2d", "h2d")
+        up = h.enqueue("upload", 1.0, "h2d")
+        ev = h.record_event()
+        c.enqueue("busy", 5.0, "kernel")
+        c.wait_event(ev)                # already fired
+        k = c.enqueue("kernel", 1.0, "kernel")
+        assert k.t0 == 5.0
+        assert up.sid in k.deps         # edge still recorded
+
+    def test_wait_none_is_noop(self):
+        tl = Timeline()
+        s = Stream(tl, "compute", "compute")
+        s.wait_event(None)
+        assert s.enqueue("A", 1.0, "kernel").t0 == 0.0
+
+    def test_enqueue_wait_kwarg(self):
+        tl = Timeline()
+        c = Stream(tl, "compute", "compute")
+        m = Stream(tl, "comm", "comm")
+        msg = m.enqueue("halo", 4.0, "comm")
+        k = c.enqueue("face", 1.0, "kernel", wait=[m.record_event()])
+        assert k.t0 == 4.0
+        assert msg.sid in k.deps
+
+    def test_record_event_before_any_work(self):
+        tl = Timeline()
+        s = Stream(tl, "compute", "compute")
+        ev = s.record_event()
+        assert ev.time_s == 0.0 and ev.span is None
+
+
+class TestStreamRuntime:
+    def test_enabled_has_four_lanes(self):
+        rt = StreamRuntime(enabled=True)
+        assert len({id(s) for s in rt.streams}) == 4
+        assert [s.lane for s in rt.streams] == list(StreamRuntime.LANES)
+
+    def test_disabled_aliases_one_serial_stream(self):
+        rt = StreamRuntime(enabled=False)
+        assert rt.compute is rt.h2d is rt.d2h is rt.comm
+        assert rt.compute.lane == "serial"
+        rt.compute.enqueue("A", 1.0, "kernel")
+        rt.h2d.enqueue("B", 2.0, "h2d")
+        assert rt.timeline.end_s == 3.0             # fully serialized
+        assert rt.timeline.overlap_fraction == 0.0
+
+    def test_synchronize_aligns_clocks(self):
+        rt = StreamRuntime(enabled=True)
+        rt.compute.enqueue("K", 5.0, "kernel")
+        rt.h2d.enqueue("U", 1.0, "h2d")
+        t = rt.synchronize()
+        assert t == 5.0
+        assert all(s.clock == 5.0 for s in rt.streams)
+        assert rt.h2d.enqueue("U2", 1.0, "h2d").t0 == 5.0
+
+    def test_elapsed_is_timeline_end(self):
+        rt = StreamRuntime(enabled=True)
+        rt.compute.enqueue("K", 5.0, "kernel")
+        assert rt.elapsed_s == rt.timeline.end_s == 5.0
+
+    def test_shared_timeline_injection(self):
+        tl = Timeline()
+        rt = StreamRuntime(enabled=True, timeline=tl)
+        rt.compute.enqueue("K", 1.0, "kernel")
+        assert len(tl) == 1
+
+
+class TestStreamModeKnob:
+    def test_default_on(self, monkeypatch):
+        monkeypatch.delenv("REPRO_STREAMS", raising=False)
+        assert stream_mode() == "on"
+        assert StreamRuntime().enabled
+
+    def test_off(self, monkeypatch):
+        monkeypatch.setenv("REPRO_STREAMS", "off")
+        assert stream_mode() == "off"
+        assert not StreamRuntime().enabled
+
+    def test_case_and_whitespace_tolerant(self, monkeypatch):
+        monkeypatch.setenv("REPRO_STREAMS", "  OFF ")
+        assert stream_mode() == "off"
+
+    def test_bad_value_warns_once_and_falls_back(self, monkeypatch):
+        monkeypatch.setenv("REPRO_STREAMS", "bogus-value-for-test")
+        with warnings.catch_warnings(record=True) as w:
+            warnings.simplefilter("always")
+            assert stream_mode() == "on"
+            assert stream_mode() == "on"
+        hits = [x for x in w if "REPRO_STREAMS" in str(x.message)]
+        assert len(hits) == 1
+
+    def test_explicit_bool_overrides_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_STREAMS", "off")
+        assert StreamRuntime(enabled=True).enabled
+
+
+class TestBitwiseEquivalence:
+    """Streams model only time: results and the serial clock must not
+    depend on the REPRO_STREAMS mode."""
+
+    def _run(self, monkeypatch, streams: bool):
+        import numpy as np
+
+        from repro.core.context import Context
+        from repro.qcd.solver import cg
+        from repro.qdp.fields import latt_fermion, latt_real
+        from repro.qdp.lattice import Lattice
+
+        monkeypatch.setenv("REPRO_STREAMS", "on" if streams else "off")
+        ctx = Context(autotune=False)
+        assert ctx.device.runtime.enabled is streams
+        lat = Lattice((4, 4, 4, 4))
+        rng = np.random.default_rng(99)
+        w = latt_real(lat, context=ctx)
+        w.from_numpy(rng.uniform(0.5, 1.5, lat.nsites))
+        b = latt_fermion(lat, context=ctx)
+        b.gaussian(rng)
+        x = latt_fermion(lat, context=ctx)
+        cg(lambda d, s: d.assign(w.ref() * s.ref()), x, b,
+           tol=0.0, max_iter=4)
+        ctx.flush()
+        return ctx, x.to_numpy()
+
+    def test_results_bitwise_identical(self, monkeypatch):
+        import numpy as np
+
+        _, x_on = self._run(monkeypatch, True)
+        _, x_off = self._run(monkeypatch, False)
+        assert np.array_equal(x_on, x_off)
+
+    def test_serial_mode_makespan_equals_device_clock(self, monkeypatch):
+        ctx, _ = self._run(monkeypatch, False)
+        assert ctx.device.runtime.timeline.end_s == ctx.device.clock
+
+    def test_stream_mode_never_exceeds_serial_clock(self, monkeypatch):
+        ctx, _ = self._run(monkeypatch, True)
+        tl = ctx.device.runtime.timeline
+        assert tl.end_s <= ctx.device.clock
+        assert tl.serial_s == pytest.approx(ctx.device.clock)
+        # the context surfaces the same figures
+        assert ctx.stats.overlap_fraction == tl.overlap_fraction
+        assert ctx.stats.critical_path_s == tl.critical_path_s
+        assert ctx.stats.lane_busy_s == tl.lane_busy()
+        assert ctx.stats.cache.page_ins > 0

@@ -1,0 +1,115 @@
+"""Unit tests for the lane-based timeline and its analytics."""
+
+import pytest
+
+from repro.runtime import Timeline
+
+
+def _three_lane_timeline():
+    """compute |--A(2)--|--B(3)--|      comm |---C(4)---|
+    where C starts when A ends (event edge)."""
+    tl = Timeline()
+    a = tl.add_span("compute", "A", "kernel", 0.0, 2.0)
+    c = tl.add_span("comm", "C", "comm", 2.0, 6.0, deps=(a.sid,))
+    b = tl.add_span("compute", "B", "kernel", 2.0, 5.0, deps=(a.sid,))
+    return tl, a, b, c
+
+
+class TestSpans:
+    def test_dense_sids(self):
+        tl, a, b, c = _three_lane_timeline()
+        assert [s.sid for s in tl.spans] == [0, 1, 2]
+        assert tl.spans[a.sid] is a
+
+    def test_deps_deduped_and_none_dropped(self):
+        tl = Timeline()
+        a = tl.add_span("compute", "A", "kernel", 0.0, 1.0)
+        b = tl.add_span("compute", "B", "kernel", 1.0, 2.0,
+                        deps=(a.sid, None, a.sid))
+        assert b.deps == (a.sid,)
+
+    def test_duration(self):
+        tl, a, _, c = _three_lane_timeline()
+        assert a.duration_s == 2.0
+        assert c.duration_s == 4.0
+
+
+class TestAggregates:
+    def test_end_and_serial(self):
+        tl, *_ = _three_lane_timeline()
+        assert tl.end_s == 6.0          # C finishes last
+        assert tl.serial_s == 9.0       # 2 + 3 + 4
+
+    def test_empty(self):
+        tl = Timeline()
+        assert tl.end_s == 0.0
+        assert tl.serial_s == 0.0
+        assert tl.overlap_fraction == 0.0
+        assert tl.critical_path() == (0.0, [])
+        assert len(tl) == 0
+
+    def test_lane_and_cat_busy(self):
+        tl, *_ = _three_lane_timeline()
+        assert tl.lane_busy() == {"compute": 5.0, "comm": 4.0}
+        assert tl.cat_busy() == {"kernel": 5.0, "comm": 4.0}
+        assert tl.lane_spans() == {"compute": 2, "comm": 1}
+
+    def test_overlap_fraction(self):
+        tl, *_ = _three_lane_timeline()
+        assert tl.overlap_fraction == pytest.approx(1.0 - 6.0 / 9.0)
+
+    def test_serial_schedule_has_zero_overlap(self):
+        tl = Timeline()
+        tl.add_span("serial", "A", "kernel", 0.0, 2.0)
+        tl.add_span("serial", "B", "h2d", 2.0, 3.0)
+        assert tl.overlap_fraction == 0.0
+
+
+class TestCriticalPath:
+    def test_follows_latest_finishing_predecessor(self):
+        tl, a, b, c = _three_lane_timeline()
+        cp_s, chain = tl.critical_path()
+        # C finishes last; its only dep is A
+        assert [s.name for s in chain] == ["A", "C"]
+        assert cp_s == 6.0
+
+    def test_chain_in_execution_order(self):
+        tl = Timeline()
+        a = tl.add_span("compute", "A", "kernel", 0.0, 1.0)
+        b = tl.add_span("h2d", "B", "h2d", 1.0, 4.0, deps=(a.sid,))
+        tl.add_span("compute", "C", "kernel", 4.0, 5.0,
+                    deps=(a.sid, b.sid))
+        _, chain = tl.critical_path()
+        assert [s.name for s in chain] == ["A", "B", "C"]
+
+    def test_critical_path_property(self):
+        tl, *_ = _three_lane_timeline()
+        assert tl.critical_path_s == tl.critical_path()[0]
+
+
+class TestSince:
+    def test_rebases_window_to_zero(self):
+        tl, *_ = _three_lane_timeline()
+        view = tl.since(2.0)
+        assert len(view) == 2           # B and C
+        assert min(s.t0 for s in view.spans) == 0.0
+        assert view.end_s == 4.0        # C: 2..6 -> 0..4
+
+    def test_remaps_inside_edges_and_drops_outside(self):
+        tl, a, b, c = _three_lane_timeline()
+        view = tl.since(2.0)
+        # both B and C depended on A, which is outside the window
+        assert all(s.deps == () for s in view.spans)
+        tl.add_span("compute", "D", "kernel", 5.0, 7.0,
+                    deps=(b.sid,))
+        view = tl.since(2.0)
+        vb = next(s for s in view.spans if s.name == "B")
+        vd = next(s for s in view.spans if s.name == "D")
+        assert vd.deps == (vb.sid,)     # inside edge remapped
+
+    def test_view_critical_path_self_consistent(self):
+        tl, *_ = _three_lane_timeline()
+        view = tl.since(0.0)
+        cp_s, chain = view.critical_path()
+        assert [s.name for s in chain] == ["A", "C"]
+        assert cp_s == 6.0

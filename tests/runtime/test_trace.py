@@ -1,0 +1,98 @@
+"""Tests for the Chrome-trace export and the repro.trace CLI."""
+
+import io
+import json
+from contextlib import redirect_stdout
+
+from repro.runtime import Timeline, chrome_trace, summarize, write_chrome_trace
+from repro.runtime.trace import main
+
+
+def _sample_timeline():
+    tl = Timeline()
+    k = tl.add_span("compute", "kern", "kernel", 0.0, 2e-6,
+                    args={"bytes": 512})
+    tl.add_span("h2d", "pagein:f1", "h2d", 0.0, 1e-6)
+    tl.add_span("d2h", "pageout:f2", "d2h", 2e-6, 3e-6, deps=(k.sid,))
+    return tl
+
+
+class TestChromeTrace:
+    def test_lane_metadata_threads(self):
+        doc = chrome_trace(_sample_timeline())
+        names = {e["args"]["name"] for e in doc["traceEvents"]
+                 if e.get("name") == "thread_name"}
+        assert names == {"compute", "h2d", "d2h"}
+        procs = [e for e in doc["traceEvents"]
+                 if e.get("name") == "process_name"]
+        assert len(procs) == 1
+
+    def test_complete_events_in_microseconds(self):
+        doc = chrome_trace(_sample_timeline())
+        xs = {e["name"]: e for e in doc["traceEvents"] if e["ph"] == "X"}
+        assert xs["kern"]["ts"] == 0.0
+        assert xs["kern"]["dur"] == 2.0          # 2e-6 s -> 2 us
+        assert xs["pageout:f2"]["ts"] == 2.0
+        assert xs["kern"]["cat"] == "kernel"
+
+    def test_deps_and_args_preserved(self):
+        doc = chrome_trace(_sample_timeline())
+        xs = {e["name"]: e for e in doc["traceEvents"] if e["ph"] == "X"}
+        assert xs["kern"]["args"]["bytes"] == 512
+        assert xs["pageout:f2"]["args"]["deps"] == [0]
+
+    def test_stable_lane_ordering(self):
+        doc = chrome_trace(_sample_timeline())
+        meta = {e["args"]["name"]: e["tid"] for e in doc["traceEvents"]
+                if e.get("name") == "thread_name"}
+        assert meta["compute"] < meta["h2d"] < meta["d2h"]
+
+    def test_write_roundtrip(self, tmp_path):
+        path = tmp_path / "trace.json"
+        write_chrome_trace(_sample_timeline(), str(path))
+        doc = json.loads(path.read_text())
+        assert doc["displayTimeUnit"] == "ms"
+        assert len([e for e in doc["traceEvents"] if e["ph"] == "X"]) == 3
+
+    def test_json_serializable_from_real_workload(self, ctx):
+        # any device timeline must export cleanly (args are plain types)
+        json.dumps(chrome_trace(ctx.device.runtime.timeline))
+
+
+class TestSummarize:
+    def test_mentions_lanes_and_metrics(self):
+        text = summarize(_sample_timeline(), title="probe")
+        assert "probe" in text
+        for token in ("compute", "h2d", "d2h", "makespan", "overlap",
+                      "critical path"):
+            assert token in text
+
+    def test_empty_timeline(self):
+        text = summarize(Timeline())
+        assert "makespan 0.0 us" in text
+
+
+class TestCLI:
+    def test_smoke_with_trace_output(self, tmp_path, fresh_ctx):
+        out = tmp_path / "cg.json"
+        buf = io.StringIO()
+        with redirect_stdout(buf):
+            status = main(["--lattice", "2,2,2,2", "--iters", "2",
+                           "--out", str(out)])
+        assert status == 0
+        text = buf.getvalue()
+        assert "fused CG" in text
+        assert "field cache:" in text
+        doc = json.loads(out.read_text())
+        lanes = {e["args"]["name"] for e in doc["traceEvents"]
+                 if e.get("name") == "thread_name"}
+        assert "compute" in lanes
+
+    def test_memory_pressure_lights_up_writeback_lane(self, fresh_ctx):
+        buf = io.StringIO()
+        with redirect_stdout(buf):
+            status = main(["--lattice", "4,4,4,8", "--iters", "4",
+                           "--pool-mib", "0.6"])
+        assert status == 0
+        assert "d2h" in buf.getvalue()           # spills happened
+        assert "spill(s)" in buf.getvalue()

@@ -52,6 +52,13 @@ class TestCLI:
         _, out = run
         assert "module cache:" in out
         assert "fused group(s)" in out
+        assert "field cache:" in out
+
+    def test_reports_runtime_timeline(self, run):
+        _, out = run
+        assert "-- runtime" in out
+        assert "makespan" in out
+        assert "critical path" in out
 
     def test_dslash_stencil_findings_surface(self, run):
         _, out = run
@@ -74,10 +81,32 @@ class TestJSON:
     def test_exit_status_and_schema_version(self, run_json):
         status, report = run_json
         assert status == 0
-        assert report["schema_version"] == 2
+        assert report["schema_version"] == 3
         assert report["summary"]["status"] == "ok"
         assert report["summary"]["errors"] == 0
         assert report["summary"]["kernels"] == len(report["kernels"])
+
+    def test_runtime_block(self, run_json):
+        _, report = run_json
+        rt = report["runtime"]
+        assert set(rt) == {"streams", "elapsed_s", "serial_s",
+                           "overlap_fraction", "critical_path_s",
+                           "lane_busy_s"}
+        assert rt["streams"] in ("on", "off")
+        assert rt["elapsed_s"] > 0
+        assert rt["elapsed_s"] <= rt["serial_s"]
+        assert 0.0 <= rt["overlap_fraction"] < 1.0
+        assert rt["critical_path_s"] <= rt["elapsed_s"]
+        assert sum(rt["lane_busy_s"].values()) == pytest.approx(
+            rt["serial_s"])
+
+    def test_cache_block(self, run_json):
+        _, report = run_json
+        cache = report["cache"]
+        assert cache["misses"] > 0          # the suite uploaded fields
+        assert cache["page_ins"] > 0
+        assert cache["resident_bytes_hwm"] > 0
+        assert cache["hits"] >= 0 and cache["spills"] >= 0
 
     def test_module_cache_and_fusion_stats(self, run_json):
         _, report = run_json

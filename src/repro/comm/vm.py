@@ -99,7 +99,11 @@ class VirtualMachine:
                  net: NetworkModel = IB_QDR_CUDA_AWARE,
                  pool_capacity: int | None = None,
                  autotune: bool = True,
-                 streams: bool | None = None):
+                 streams: bool | None = None,
+                 faults=None):
+        from ..faults.inject import FaultInjector
+        from ..faults.plan import active_plan
+
         self.decomp = Decomposition(tuple(int(d) for d in global_dims),
                                     ProcessorGrid(tuple(int(d)
                                                         for d in grid_dims)))
@@ -108,9 +112,21 @@ class VirtualMachine:
         self.local_lattice = self.decomp.local_lattice()
         self.global_lattice = self.decomp.global_lattice()
         self.net = net
+        # one plan shared across every rank (and the halo layer), so
+        # a single trace/counter set covers the whole machine
+        if faults is None:
+            plan = active_plan()
+        elif faults is False:
+            plan = None
+        else:
+            plan = faults
         self.contexts = [Context(spec, pool_capacity=pool_capacity,
-                                 autotune=autotune)
+                                 autotune=autotune,
+                                 faults=plan if plan is not None else False)
                          for _ in range(self.nranks)]
+        #: halo-layer fault injector (drop/corrupt/timeout recovery);
+        #: shares the rank devices' plan
+        self.faults = FaultInjector(plan)
         self.face_kernels = [FaceKernels(c.kernel_cache)
                              for c in self.contexts]
         #: the VM's stream runtime: the *collective* step timeline
@@ -265,16 +281,23 @@ class VirtualMachine:
         # receives r's plane?  For a forward shift, rank r's lower
         # plane goes to rank r - mu_hat.
         recv_addrs = [0] * self.nranks
+        tag = f"{mu}{'+' if sign > 0 else '-'}:{src.name}"
+        penalties = []
+        halo_faults = self.faults.active
         for r in range(self.nranks):
             dst_rank = self.grid.neighbor(r, mu, -sign)
             rbuf = self._buffer(dst_rank, "recv", mu, sign, nbytes)
             recv_addrs[dst_rank] = rbuf
             data = self.contexts[r].device.pool.read(send_addrs[r], nbytes)
-            self.contexts[dst_rank].device.pool.write(rbuf, data)
+            if halo_faults:
+                penalties.extend(self.faults.deliver_halo(
+                    self.contexts[dst_rank].device, rbuf, data,
+                    self.net, f"halo:{tag}@r{r}"))
+            else:
+                self.contexts[dst_rank].device.pool.write(rbuf, data)
         comm_time = self.net.message_time(nbytes)
 
         rt = self.runtime
-        tag = f"{mu}{'+' if sign > 0 else '-'}:{src.name}"
         if run_gather:
             rt.compute.enqueue(f"gather:{tag}", gather_worst, "gather",
                                args={"bytes": nbytes, "nface": nface})
@@ -282,6 +305,11 @@ class VirtualMachine:
         rt.comm.wait_event(rt.compute.record_event())
         rt.comm.enqueue(f"halo:{tag}", comm_time, "comm",
                         args={"bytes": nbytes})
+        if penalties:
+            # recovery follows the failed delivery: timeouts, backoff
+            # and checksum-verified retransmits extend the comm lane,
+            # and the scatter's event below waits on all of it
+            comm_time += self.faults.charge_penalties(rt, penalties)
         event = rt.comm.record_event()
         if blocking:
             rt.synchronize()

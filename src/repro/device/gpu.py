@@ -68,10 +68,17 @@ class Device:
         Bytes of device memory actually backed by host RAM.  Defaults
         to ``min(spec.memory_bytes, 1 GiB)``; the allocator enforces
         this capacity, which is what drives LRU spills in tests.
+    faults:
+        Fault-injection control: ``None`` (default) picks up the
+        process-wide plan (installed programmatically or parsed from
+        ``REPRO_FAULTS``), ``False`` disables injection outright, or
+        pass a :class:`~repro.faults.plan.FaultPlan` to share one plan
+        (and its trace/counters) across devices.
     """
 
     def __init__(self, spec: DeviceSpec = K20X_ECC_OFF,
-                 pool_capacity: int | None = None):
+                 pool_capacity: int | None = None,
+                 faults=None):
         self.spec = spec
         if pool_capacity is None:
             pool_capacity = min(spec.memory_bytes, 1 << 30)
@@ -84,10 +91,23 @@ class Device:
         #: the stream/event runtime; all modeled costs also land as
         #: spans on its lane-based timeline
         self.runtime = StreamRuntime()
+        from ..faults.inject import FaultInjector
+        from ..faults.plan import active_plan
+        if faults is None:
+            plan = active_plan()
+        elif faults is False:
+            plan = None
+        else:
+            plan = faults
+        #: the fault injector; inert (:attr:`FaultInjector.active`
+        #: False) unless a plan is configured
+        self.faults = FaultInjector(plan, device=self)
 
     # -- memory ---------------------------------------------------------
 
     def mem_alloc(self, nbytes: int) -> int:
+        if self.faults.active:
+            self.faults.pre_alloc(nbytes)
         return self.pool.allocate(nbytes)
 
     def mem_free(self, addr: int) -> None:
@@ -112,6 +132,8 @@ class Device:
         self.clock += t
         s = stream if stream is not None else self.runtime.h2d
         s.enqueue(name, t, "h2d", args={"bytes": host.nbytes})
+        if self.faults.active:
+            self.faults.guard_h2d(addr, host, name)
         return t
 
     def memcpy_dtoh(self, addr: int, nbytes: int, dtype=np.uint8,
@@ -133,6 +155,8 @@ class Device:
         s = stream if stream is not None else self.runtime.d2h
         s.wait_event(self.runtime.compute.record_event())
         s.enqueue(name, t, "d2h", args={"bytes": nbytes})
+        if self.faults.active:
+            self.faults.guard_d2h(addr, out, name)
         return out
 
     # -- kernel launch ----------------------------------------------------
@@ -158,6 +182,12 @@ class Device:
 
         if regs_per_thread is None:
             regs_per_thread = kernel.regs_per_thread
+        if self.faults.active:
+            try:
+                self.faults.pre_launch(kernel.name, block_size)
+            except LaunchError:
+                self.stats.launch_failures += 1
+                raise
         try:
             cost = kernel_cost(
                 self.spec, nsites=nsites, block_size=block_size,
@@ -187,6 +217,8 @@ class Device:
         s.enqueue(kernel.name, cost.time_s, "kernel",
                   args={"bytes": cost.bytes_moved, "nsites": nsites,
                         "block": block_size})
+        if self.faults.active:
+            self.faults.note_launch_success(kernel.name, block_size)
         return cost
 
     def reduce_f64(self, addr: int, count: int,

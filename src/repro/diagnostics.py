@@ -70,39 +70,57 @@ def max_severity(diagnostics) -> Severity | None:
 
 
 VERIFY_MODES = ("off", "warn", "error")
+FUSION_MODES = ("on", "off")
+STREAM_MODES = ("on", "off")
+FAULT_MODES = ("off", "plan:<spec>")
 
-#: Bad ``REPRO_VERIFY`` values already warned about (warn once per
-#: distinct value, not once per kernel build).
+#: Bad ``REPRO_*`` values already warned about, keyed per knob (warn
+#: once per distinct value, not once per kernel build).  The knob-mode
+#: functions below share one resolver, so every knob gets identical
+#: unknown-value handling: fall back to the default and announce it.
 _warned_verify_values: set[str] = set()
+_warned_fusion_values: set[str] = set()
+_warned_stream_values: set[str] = set()
+_warned_fault_values: set[str] = set()
 
 
-def verify_mode(default: str = "error") -> str:
-    """The current strictness mode from the ``REPRO_VERIFY`` knob.
+def _env_mode(env_var: str, accepted: tuple[str, ...], default: str,
+              warned: set[str]) -> str:
+    """Resolve one ``REPRO_*`` mode knob from the environment.
 
-    Unrecognized values fall back to the default rather than raising —
+    Unrecognized values fall back to ``default`` rather than raising —
     a typo in an environment variable must not make every kernel build
     unreproducibly strict or lax — but the fallback is *announced*: a
     one-time warning names the bad value and the accepted set, so a
     misspelled ``REPRO_VERIFY=of`` is not silently ignored.
     """
-    raw = os.environ.get("REPRO_VERIFY")
+    raw = os.environ.get(env_var)
     if raw is None:
         return default
     mode = raw.strip().lower()
-    if mode in VERIFY_MODES:
+    if mode in accepted:
         return mode
-    if raw not in _warned_verify_values:
-        _warned_verify_values.add(raw)
+    if raw not in warned:
+        warned.add(raw)
         warnings.warn(
-            f"ignoring unrecognized REPRO_VERIFY={raw!r}: accepted "
-            f"values are {', '.join(VERIFY_MODES)}; using "
-            f"{default!r}", RuntimeWarning, stacklevel=3)
+            f"ignoring unrecognized {env_var}={raw!r}: accepted "
+            f"values are {', '.join(accepted)}; using "
+            f"{default!r}", RuntimeWarning, stacklevel=4)
     return default
 
 
-FUSION_MODES = ("on", "off")
+def verify_mode(default: str = "error") -> str:
+    """The current strictness mode from the ``REPRO_VERIFY`` knob.
 
-_warned_fusion_values: set[str] = set()
+    ``off``
+        Skip static analysis entirely.
+    ``warn``
+        Run every pass, report findings as Python warnings only.
+    ``error`` (default)
+        Error-severity diagnostics raise.
+    """
+    return _env_mode("REPRO_VERIFY", VERIFY_MODES, default,
+                     _warned_verify_values)
 
 
 def fusion_mode(default: str = "on") -> str:
@@ -115,28 +133,9 @@ def fusion_mode(default: str = "on") -> str:
     ``off``
         Every assignment launches its own kernel immediately — the
         pre-fusion eager behavior, bitwise identical in results.
-
-    Unrecognized values fall back to the default with a one-time
-    warning, mirroring :func:`verify_mode`.
     """
-    raw = os.environ.get("REPRO_FUSION")
-    if raw is None:
-        return default
-    mode = raw.strip().lower()
-    if mode in FUSION_MODES:
-        return mode
-    if raw not in _warned_fusion_values:
-        _warned_fusion_values.add(raw)
-        warnings.warn(
-            f"ignoring unrecognized REPRO_FUSION={raw!r}: accepted "
-            f"values are {', '.join(FUSION_MODES)}; using "
-            f"{default!r}", RuntimeWarning, stacklevel=3)
-    return default
-
-
-STREAM_MODES = ("on", "off")
-
-_warned_stream_values: set[str] = set()
+    return _env_mode("REPRO_FUSION", FUSION_MODES, default,
+                     _warned_fusion_values)
 
 
 def stream_mode(default: str = "on") -> str:
@@ -150,21 +149,39 @@ def stream_mode(default: str = "on") -> str:
     ``off``
         All lanes collapse onto one serial stream: the makespan equals
         the serial sum of every modeled cost (the pre-runtime model).
-
-    Unrecognized values fall back to the default with a one-time
-    warning, mirroring :func:`verify_mode`.
     """
-    raw = os.environ.get("REPRO_STREAMS")
+    return _env_mode("REPRO_STREAMS", STREAM_MODES, default,
+                     _warned_stream_values)
+
+
+def faults_mode(default: str = "off") -> str:
+    """The fault-injection mode from the ``REPRO_FAULTS`` knob.
+
+    ``off`` (default)
+        No fault injection: every chokepoint check is a no-op and the
+        run is bitwise identical (results, kernels, modeled clocks,
+        stats) to a build without the faults layer.
+    ``plan:<spec>``
+        Activate the deterministic fault plan described by ``<spec>``
+        (see :func:`repro.faults.plan.parse_plan`), e.g.
+        ``plan:seed=42,launch=0.05,alloc=1x,halo.corrupt=1x``.
+
+    Returns ``"off"`` or the full (lowercased, stripped) ``plan:...``
+    string; the spec itself is parsed — and its errors reported — by
+    :mod:`repro.faults.plan`.  Unrecognized values fall back to the
+    default with a one-time warning, like every other ``REPRO_*`` knob.
+    """
+    raw = os.environ.get("REPRO_FAULTS")
     if raw is None:
         return default
     mode = raw.strip().lower()
-    if mode in STREAM_MODES:
+    if mode == "off" or mode.startswith("plan:"):
         return mode
-    if raw not in _warned_stream_values:
-        _warned_stream_values.add(raw)
+    if raw not in _warned_fault_values:
+        _warned_fault_values.add(raw)
         warnings.warn(
-            f"ignoring unrecognized REPRO_STREAMS={raw!r}: accepted "
-            f"values are {', '.join(STREAM_MODES)}; using "
+            f"ignoring unrecognized REPRO_FAULTS={raw!r}: accepted "
+            f"values are {', '.join(FAULT_MODES)}; using "
             f"{default!r}", RuntimeWarning, stacklevel=3)
     return default
 

@@ -1,0 +1,40 @@
+"""Deterministic fault injection and recovery (DESIGN.md §10).
+
+A seeded :class:`FaultPlan` decides — reproducibly — which operations
+fail at the runtime's chokepoints (kernel launch, device allocation,
+host<->device transfers, halo exchange, the solver iterate), and a
+:class:`FaultInjector` applies the paired recovery: bounded retry with
+exponential backoff charged as modeled time, checksum-verified
+retransmission, spill-and-retry for memory pressure, and solver
+restart from the last good iterate.  Configured programmatically or
+via ``REPRO_FAULTS=off|plan:<spec>``; ``off`` (the default) is
+bitwise identical to a build without this layer.
+"""
+
+from .inject import FaultInjector, HaloDeliveryError, TransferChecksumError
+from .plan import (
+    FaultCounters,
+    FaultEvent,
+    FaultPlan,
+    FaultPlanError,
+    FaultSpec,
+    RecoveryPolicy,
+    active_plan,
+    install_plan,
+    parse_plan,
+)
+
+__all__ = [
+    "FaultCounters",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultPlanError",
+    "FaultSpec",
+    "HaloDeliveryError",
+    "RecoveryPolicy",
+    "TransferChecksumError",
+    "active_plan",
+    "install_plan",
+    "parse_plan",
+]

@@ -11,6 +11,9 @@ mislabeled ensembles.
 from __future__ import annotations
 
 import json
+import os
+import tempfile
+import zipfile
 import zlib
 from dataclasses import dataclass
 from pathlib import Path
@@ -62,17 +65,37 @@ def save_config(path, u: multi1d, trajectory: int = 0) -> ConfigHeader:
         trajectory=int(trajectory),
         checksum=_checksum(links),
     )
-    np.savez_compressed(
-        path, links=links,
-        header=np.frombuffer(
-            json.dumps({
-                "dims": list(header.dims),
-                "plaquette": header.plaquette,
-                "link_trace": header.link_trace,
-                "trajectory": header.trajectory,
-                "checksum": header.checksum,
-                "format_version": header.format_version,
-            }).encode(), dtype=np.uint8))
+    # Atomic write: a job killed mid-save must never leave a truncated
+    # file under the final name (the stream restarts from it).  Write
+    # to a temp file in the same directory, fsync, then os.replace.
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=path.name + ".",
+                               suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            np.savez_compressed(
+                fh, links=links,
+                header=np.frombuffer(
+                    json.dumps({
+                        "dims": list(header.dims),
+                        "plaquette": header.plaquette,
+                        "link_trace": header.link_trace,
+                        "trajectory": header.trajectory,
+                        "checksum": header.checksum,
+                        "format_version": header.format_version,
+                    }).encode(), dtype=np.uint8))
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
     return header
 
 
@@ -82,9 +105,13 @@ def load_config(path, context=None, precision: str = "f64",
     path = Path(path)
     if path.suffix != ".npz" and not path.exists():
         path = path.with_suffix(path.suffix + ".npz")
-    with np.load(path) as data:
-        links = data["links"]
-        meta = json.loads(bytes(data["header"].tobytes()).decode())
+    try:
+        with np.load(path) as data:
+            links = data["links"]
+            meta = json.loads(bytes(data["header"].tobytes()).decode())
+    except (OSError, ValueError, KeyError, zipfile.BadZipFile) as e:
+        raise CheckpointError(
+            f"{path}: unreadable or truncated checkpoint ({e})") from e
     if meta.get("format_version") != FORMAT_VERSION:
         raise CheckpointError(
             f"unsupported format version {meta.get('format_version')}")

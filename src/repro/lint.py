@@ -28,10 +28,10 @@ Exit status:
 ``2``
     Usage error (bad command line), per argparse convention.
 
-JSON schema (``schema_version`` 3)::
+JSON schema (``schema_version`` 4)::
 
     {
-      "schema_version": 3,
+      "schema_version": 4,
       "lattice": [int, ...],
       "passes": [str, ...],            # PTX verifier pass names
       "ast_passes": [str, ...],        # expression-AST lint pass names
@@ -81,6 +81,12 @@ JSON schema (``schema_version`` 3)::
         "spills": int, "evictions_clean": int,
         "bytes_paged_in": int, "bytes_paged_out": int,
         "resident_bytes_hwm": int
+      },
+      "faults": {                      # fault injection & recovery
+        "mode": "off" | "plan",        # whether a REPRO_FAULTS plan ran
+        "injected": int, "recovered": int,
+        "retries": int, "backoff_s": float,
+        "solver_restarts": int
       },
       "summary": {
         "kernels": int, "diagnostics": int,
@@ -357,13 +363,20 @@ def main(argv=None) -> int:
               f"{timeline.serial_s * 1e6:.1f} us; overlap "
               f"{timeline.overlap_fraction:.1%}; critical path "
               f"{timeline.critical_path_s * 1e6:.1f} us")
+        fc = ctx.stats
+        print(f"  faults (REPRO_FAULTS="
+              f"{'plan' if ctx.device.faults.active else 'off'}): "
+              f"{fc.faults_injected} injected, {fc.faults_recovered} "
+              f"recovered, {fc.retries} retry(ies), "
+              f"{fc.backoff_s * 1e6:.1f} us backoff, "
+              f"{fc.solver_restarts} solver restart(s)")
         status = "FAIL" if failed else "ok"
         print(f"\nrepro.lint: {status}: {len(suite)} kernel(s) verified, "
               f"{n_diags} diagnostic(s), worst severity "
               f"{worst.label if n_diags else 'none'}")
     else:
         report = {
-            "schema_version": 3,
+            "schema_version": 4,
             "lattice": list(args.lattice),
             "passes": list(PASSES),
             "ast_passes": list(LINT_PASSES),
@@ -386,6 +399,14 @@ def main(argv=None) -> int:
                 "lane_busy_s": timeline.lane_busy(),
             },
             "cache": dataclasses.asdict(cache),
+            "faults": {
+                "mode": "plan" if ctx.device.faults.active else "off",
+                "injected": ctx.stats.faults_injected,
+                "recovered": ctx.stats.faults_recovered,
+                "retries": ctx.stats.retries,
+                "backoff_s": ctx.stats.backoff_s,
+                "solver_restarts": ctx.stats.solver_restarts,
+            },
             "summary": {
                 "kernels": len(suite),
                 "diagnostics": n_diags,

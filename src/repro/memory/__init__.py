@@ -1,6 +1,12 @@
 """Device memory: flat pool/allocator and the LRU software cache."""
 
-from .cache import CacheEntry, CacheStats, FieldCache, SpillImpossible
+from .cache import (
+    CacheEntry,
+    CacheStats,
+    FieldCache,
+    NoValidCopyError,
+    SpillImpossible,
+)
 from .pool import (
     ALIGNMENT,
     BASE_ADDRESS,
@@ -19,6 +25,7 @@ __all__ = [
     "DevicePool",
     "FieldCache",
     "InvalidFree",
+    "NoValidCopyError",
     "PoolStats",
     "SpillImpossible",
 ]

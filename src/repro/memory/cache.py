@@ -82,6 +82,35 @@ class SpillImpossible(DeviceOutOfMemory):
     """Device memory exhausted and nothing can be spilled."""
 
 
+class NoValidCopyError(RuntimeError):
+    """A field holds no valid copy on either side of the cache.
+
+    Raised when a kernel needs a field that was never initialized (or
+    whose only copy was explicitly invalidated) — the coherence bits
+    say neither the host nor the device array is current.  Carries the
+    field's identity so diagnostics can name the culprit, and renders
+    as a structured :class:`~repro.diagnostics.Diagnostic`.
+    """
+
+    def __init__(self, uid: int, nbytes: int, where: str):
+        self.uid = uid
+        self.nbytes = nbytes
+        self.where = where
+        super().__init__(
+            f"field {uid} ({nbytes} bytes) has no valid copy anywhere "
+            f"(host and device both stale) in {where}")
+
+    @property
+    def diagnostic(self):
+        from ..diagnostics import Diagnostic, Severity
+
+        return Diagnostic(
+            severity=Severity.ERROR, pass_name="field-cache",
+            message=f"no valid copy anywhere ({self.nbytes} bytes, "
+                    f"host and device both stale)",
+            obj=f"field {self.uid}", location=self.where)
+
+
 class FieldCache:
     """The software cache managing a device's field residency."""
 
@@ -156,15 +185,44 @@ class FieldCache:
         return True
 
     def _allocate_with_spill(self, nbytes: int, pinned: set[int]) -> int:
+        fault_event = None
         while True:
             try:
-                return self.device.mem_alloc(nbytes)
-            except DeviceOutOfMemory:
+                addr = self.device.mem_alloc(nbytes)
+            except DeviceOutOfMemory as e:
+                injected = getattr(e, "injected", False)
+                if injected:
+                    fault_event = getattr(e, "fault_event", fault_event)
                 if not self._spill_one(pinned):
+                    if injected:
+                        # nothing to spill, but the OOM was injected:
+                        # a plain retry models the transient pressure
+                        # (e.g. another process's allocation) clearing
+                        try:
+                            addr = self.device.pool.allocate(nbytes)
+                        except DeviceOutOfMemory:
+                            raise SpillImpossible(
+                                f"cannot make {nbytes} bytes available: "
+                                f"device memory genuinely exhausted and "
+                                f"nothing spillable") from None
+                        self._record_oom_recovery(
+                            fault_event, "allocation retried (transient "
+                            "pressure, nothing spillable)")
+                        return addr
                     raise SpillImpossible(
                         f"cannot make {nbytes} bytes available: all "
                         f"{len(self.entries)} cached fields are pinned "
                         f"by the current kernel") from None
+                continue
+            if fault_event is not None:
+                self._record_oom_recovery(
+                    fault_event, "spilled LRU field and retried")
+            return addr
+
+    def _record_oom_recovery(self, event, action: str) -> None:
+        faults = getattr(self.device, "faults", None)
+        if faults is not None and faults.active:
+            faults.plan.record_recovery(event, action, retries=1)
 
     # -- public API ------------------------------------------------------
 
@@ -196,8 +254,8 @@ class FieldCache:
                 self.entries[f.uid] = entry
                 if f.uid not in write_only:
                     if not f.host_valid:
-                        raise RuntimeError(
-                            f"field {f.uid} has no valid copy anywhere")
+                        raise NoValidCopyError(f.uid, f.nbytes,
+                                               "make_available")
                     self._page_in(entry, f)
             else:
                 self.stats.hits += 1
@@ -250,7 +308,7 @@ class FieldCache:
             return
         entry = self.entries.get(f.uid)
         if entry is None or not f.device_valid:
-            raise RuntimeError(f"field {f.uid} has no valid copy anywhere")
+            raise NoValidCopyError(f.uid, f.nbytes, "ensure_host")
         data = self.device.memcpy_dtoh(entry.addr, entry.nbytes,
                                        dtype=f.host.dtype,
                                        name=f"pageout:f{f.uid}")

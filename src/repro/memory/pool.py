@@ -166,3 +166,15 @@ class DevicePool:
             raise ValueError("device read out of range")
         raw = self._mem[addr:addr + nbytes].copy()
         return raw.view(dtype)
+
+    def flip_bit(self, addr: int, bit: int) -> None:
+        """Flip one bit of device memory (fault injection primitive).
+
+        ``bit`` indexes bits from ``addr``; used by
+        :mod:`repro.faults.inject` to model in-flight transfer
+        corruption that the per-transfer checksums must detect.
+        """
+        byte = addr + (bit >> 3)
+        if byte < BASE_ADDRESS or byte >= self.capacity:
+            raise ValueError("device bit-flip out of range")
+        self._mem[byte] ^= np.uint8(1 << (bit & 7))

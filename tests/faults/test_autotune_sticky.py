@@ -1,0 +1,95 @@
+"""Sticky launch-failure tests: injected per-block-size failures drive
+the auto-tuner's halving series exactly like the paper's
+discover-by-failure start (Sec. VII)."""
+
+import numpy as np
+
+from repro.device import Autotuner, Device, Phase
+from repro.driver import compile_ptx
+from repro.faults import FaultPlan
+
+from .test_device_faults import _double_kernel
+
+
+def _env(plan, *, regs=None, name="dbl"):
+    dev = Device(faults=plan)
+    module = _double_kernel(name)
+    compiled = compile_ptx(module.render())
+    if regs is not None:
+        compiled.regs_per_thread = regs
+    n = 32768
+    addr = dev.mem_alloc(n * 8)
+    dev.memcpy_htod(addr, np.ones(n))
+    return dev, module, compiled, {"p_n": n, "p_x": addr}, n, addr
+
+
+class TestStickyHalving:
+    def test_probe_halves_past_poisoned_sizes(self):
+        """Depth-2 sticky poison: 1024 and 512 always fail; the tuner
+        must settle at 256 on payload launches."""
+        plan = FaultPlan(seed=30).add("launch.sticky", count=2,
+                                      match="dbl")
+        dev, module, compiled, params, n, _ = _env(plan)
+        tuner = Autotuner(dev)
+        for _ in range(12):
+            tuner.launch(compiled, module.info, params, n, "f64")
+        st = tuner.state(compiled.name)
+        assert st.phase is Phase.TUNED
+        assert st.best_block == 256
+        assert max(b for b, _ in st.history) == 256
+        assert dev.stats.launch_failures == 2        # 1024, 512
+        # the settled tuner is the recovery: both sticky events closed
+        assert plan.counters.injected == 2
+        assert plan.all_recovered()
+        for event in plan.trace:
+            assert "settled at block size 256" in event.recovery
+
+    def test_tuned_size_cached_no_more_failures(self):
+        """After settling, further launches reuse the tuned block: the
+        poisoned sizes are never probed again."""
+        plan = FaultPlan(seed=30).add("launch.sticky", count=1,
+                                      match="dbl")
+        dev, module, compiled, params, n, _ = _env(plan)
+        tuner = Autotuner(dev)
+        for _ in range(20):
+            tuner.launch(compiled, module.info, params, n, "f64")
+        failures_at_settle = dev.stats.launch_failures
+        for _ in range(10):
+            tuner.launch(compiled, module.info, params, n, "f64")
+        assert dev.stats.launch_failures == failures_at_settle == 1
+        assert tuner.state(compiled.name).best_block == 512
+
+    def test_results_correct_despite_failures(self):
+        plan = FaultPlan(seed=30).add("launch.sticky", count=2,
+                                      match="dbl")
+        dev, module, compiled, params, n, addr = _env(plan)
+        tuner = Autotuner(dev)
+        for _ in range(6):
+            tuner.launch(compiled, module.info, params, n, "f64")
+        out = dev.memcpy_dtoh(addr, n * 8, np.float64)
+        assert np.allclose(out, 2.0 ** 6)
+
+    def test_static_seed_skips_poisoned_prefix(self):
+        """A register-bound kernel seeds its probe at 256; sticky
+        poison on 1024/512 then never fires — the static bound and the
+        fault plan agree on which sizes are unlaunchable."""
+        plan = FaultPlan(seed=30).add("launch.sticky", count=2,
+                                      match="fat")
+        dev, module, compiled, params, n, _ = _env(plan, regs=160,
+                                                   name="fat")
+        tuner = Autotuner(dev)
+        tuner.launch(compiled, module.info, params, n, "f64")
+        st = tuner.state(compiled.name)
+        assert st.failures == 0
+        assert dev.stats.launch_failures == 0
+        assert plan.counters.injected == 0           # never reached
+        assert max(b for b, _ in st.history) == 256
+
+    def test_sticky_only_hits_matching_kernels(self):
+        plan = FaultPlan(seed=30).add("launch.sticky", count=2,
+                                      match="other_*")
+        dev, module, compiled, params, n, _ = _env(plan)
+        tuner = Autotuner(dev)
+        tuner.launch(compiled, module.info, params, n, "f64")
+        assert dev.stats.launch_failures == 0
+        assert plan.counters.injected == 0

@@ -1,0 +1,150 @@
+"""Device-chokepoint fault tests: transient launch retry, injected
+OOM through the cache's spill-and-retry, and checksum-guarded
+host<->device transfers."""
+
+import numpy as np
+import pytest
+
+from repro.device import Device
+from repro.device.memmodel import LaunchError
+from repro.driver import compile_ptx
+from repro.faults import FaultPlan, TransferChecksumError
+from repro.ptx import KernelBuilder, PTXModule, PTXType
+
+
+def _double_kernel(name="dbl"):
+    kb = KernelBuilder(name)
+    pn = kb.add_param("p_n", PTXType.S32)
+    px = kb.add_param("p_x", PTXType.U64, is_pointer=True)
+    n = kb.ld_param(pn)
+    x = kb.ld_param(px)
+    gid = kb.global_thread_id()
+    oob = kb.setp("ge", gid, n)
+    done = kb.new_label("DONE")
+    kb.bra(done, guard=oob)
+    off = kb.cvt(kb.mul(kb.cvt(gid, PTXType.S64), kb.imm(8, PTXType.S64)),
+                 PTXType.U64)
+    addr = kb.add(x, off)
+    v = kb.ld_global(addr, PTXType.F64)
+    kb.st_global(addr, kb.mul(v, kb.imm(2.0, PTXType.F64)), PTXType.F64)
+    kb.label(done)
+    kb.ret()
+    return PTXModule.from_builder(kb)
+
+
+def _launch_env(plan):
+    dev = Device(faults=plan)
+    module = _double_kernel()
+    compiled = compile_ptx(module.render())
+    n = 1024
+    addr = dev.mem_alloc(n * 8)
+    dev.memcpy_htod(addr, np.ones(n))
+    return dev, module, compiled, {"p_n": n, "p_x": addr}, n, addr
+
+
+class TestTransientLaunch:
+    def test_retry_recovers_and_charges_backoff(self):
+        plan = FaultPlan(seed=1).add("launch", count=1, match="dbl")
+        dev, module, compiled, params, n, addr = _launch_env(plan)
+        dev.launch(compiled, module.info, params, n, 256)
+        c = plan.counters
+        assert (c.injected, c.recovered, c.retries) == (1, 1, 1)
+        assert c.backoff_s == pytest.approx(plan.policy.backoff_s(0))
+        # the result is still correct and the launch was not double-run
+        assert np.allclose(dev.pool.read(addr, n * 8, np.float64), 2.0)
+        assert dev.stats.kernel_launches == 1
+        # the backoff is modeled time: fault lane busy, clock advanced
+        assert dev.runtime.timeline.lane_busy().get("fault", 0) == \
+            pytest.approx(c.backoff_s)
+
+    def test_persistent_failure_exhausts_retry_budget(self):
+        plan = FaultPlan(seed=1).add("launch", match="dbl")  # unlimited
+        dev, module, compiled, params, n, addr = _launch_env(plan)
+        with pytest.raises(LaunchError, match="retries exhausted"):
+            dev.launch(compiled, module.info, params, n, 256)
+        assert dev.stats.launch_failures == 1
+        # the original fault plus one re-fire per retry, none recovered
+        assert plan.counters.injected == 1 + plan.policy.max_retries
+        assert not plan.all_recovered()
+
+    def test_same_seed_same_recovery_trace(self):
+        def run(seed):
+            plan = FaultPlan(seed=seed).add("launch", count=3, match="dbl")
+            dev, module, compiled, params, n, _ = _launch_env(plan)
+            for _ in range(4):
+                dev.launch(compiled, module.info, params, n, 256)
+            return plan.trace_signature()
+
+        assert run(42) == run(42)
+
+
+class TestInjectedOOM:
+    def test_spill_and_retry_through_the_cache(self, fresh_ctx):
+        """An injected DeviceOutOfMemory rides the cache's
+        spill-and-retry path and is recorded as recovered."""
+        from repro.core.context import Context
+        from repro.qdp.fields import latt_real
+        from repro.qdp.lattice import Lattice
+
+        plan = FaultPlan(seed=2).add("alloc", count=1)
+        ctx = Context(faults=plan)
+        lat = Lattice((4, 4, 4, 4))
+        f = latt_real(lat, context=ctx)
+        f.from_numpy(np.arange(lat.nsites, dtype=np.float64))
+        d = latt_real(lat, context=ctx)
+        d.assign(f.ref() + f.ref())   # forces device allocation + page-in
+        expected = 2.0 * np.arange(lat.nsites, dtype=np.float64)
+        assert np.array_equal(d.to_numpy(), expected)
+        assert plan.counters.injected == 1
+        assert plan.counters.recovered == 1
+        assert plan.all_recovered()
+        assert ctx.stats.faults_injected == 1
+        assert ctx.stats.faults_recovered == 1
+
+
+class TestTransferChecksums:
+    def test_h2d_bitflip_detected_and_retransmitted(self):
+        plan = FaultPlan(seed=3).add("h2d", count=1)
+        dev = Device(faults=plan)
+        host = np.arange(512, dtype=np.float64)
+        addr = dev.mem_alloc(host.nbytes)
+        dev.memcpy_htod(addr, host)
+        assert plan.counters.injected == 1
+        assert plan.all_recovered()
+        # device copy repaired; the retransmit was a real, counted copy
+        assert np.array_equal(
+            dev.pool.read(addr, host.nbytes, np.float64), host)
+        assert dev.stats.n_h2d == 2
+        (event,) = plan.trace
+        assert event.site == "h2d" and "bit" in event.detail
+
+    def test_d2h_bitflip_detected_and_reread(self):
+        plan = FaultPlan(seed=4).add("d2h", count=1)
+        dev = Device(faults=plan)
+        host = np.arange(512, dtype=np.float64)
+        addr = dev.mem_alloc(host.nbytes)
+        dev.memcpy_htod(addr, host)
+        out = dev.memcpy_dtoh(addr, host.nbytes, np.float64)
+        assert np.array_equal(out, host)
+        assert plan.all_recovered()
+        assert dev.stats.n_d2h == 2
+
+    def test_unrepairable_transfer_surfaces(self):
+        """A fault that re-fires on every retransmission must raise a
+        typed error once the budget is gone, not loop forever."""
+        plan = FaultPlan(seed=5).add("h2d")   # unlimited corruption
+        dev = Device(faults=plan)
+        host = np.arange(64, dtype=np.float64)
+        addr = dev.mem_alloc(host.nbytes)
+        with pytest.raises(TransferChecksumError, match="still corrupt"):
+            dev.memcpy_htod(addr, host)
+
+
+class TestInertInjector:
+    def test_no_plan_means_inactive(self):
+        dev = Device(faults=False)
+        assert not dev.faults.active
+        assert dev.faults.counters.injected == 0
+
+    def test_empty_plan_is_inactive(self):
+        assert not Device(faults=FaultPlan()).faults.active

@@ -1,0 +1,90 @@
+"""REPRO_FAULTS=off must be bitwise invisible: same results, same
+modeled clocks, same stats, no fault lane — the injector guards keep
+the fault-free path identical to a build without the faults layer."""
+
+import numpy as np
+import pytest
+
+from repro.core.context import Context
+from repro.faults import FaultPlan
+from repro.qcd.solver import cg
+from repro.qdp.fields import latt_fermion, latt_real
+from repro.qdp.lattice import Lattice
+
+DIMS = (4, 4, 4, 4)
+
+
+def _workload(faults):
+    """CG + explicit upload/download traffic; returns observables."""
+    ctx = Context(faults=faults)
+    lat = Lattice(DIMS)
+    rng = np.random.default_rng(23)
+    w = latt_real(lat, context=ctx)
+    w.from_numpy(rng.uniform(0.5, 1.5, lat.nsites))
+    b = latt_fermion(lat, context=ctx)
+    b.gaussian(rng)
+    x = latt_fermion(lat, context=ctx)
+
+    def apply_op(dest, src):
+        dest.assign(w.ref() * src.ref())
+
+    res = cg(apply_op, x, b, tol=1e-10, max_iter=200)
+    ctx.flush()
+    stats = ctx.device.stats
+    return {
+        "x": x.to_numpy(),
+        "iterations": res.iterations,
+        "clock": ctx.device.clock,
+        "kernel_launches": stats.kernel_launches,
+        "modeled_kernel_time_s": stats.modeled_kernel_time_s,
+        "bytes_h2d": stats.bytes_h2d,
+        "bytes_d2h": stats.bytes_d2h,
+        "lane_busy": ctx.device.runtime.timeline.lane_busy(),
+        "ctx": ctx,
+    }
+
+
+class TestOffIdentity:
+    def test_off_equals_disabled_bitwise(self, monkeypatch):
+        """Env default (unset), explicit off, and faults=False all
+        produce bit-identical runs."""
+        monkeypatch.delenv("REPRO_FAULTS", raising=False)
+        default = _workload(None)
+        monkeypatch.setenv("REPRO_FAULTS", "off")
+        explicit_off = _workload(None)
+        disabled = _workload(False)
+        empty_plan = _workload(FaultPlan(seed=1))   # no specs => inert
+        for run in (explicit_off, disabled, empty_plan):
+            assert np.array_equal(run["x"], default["x"])
+            for key in ("iterations", "clock", "kernel_launches",
+                        "modeled_kernel_time_s", "bytes_h2d",
+                        "bytes_d2h", "lane_busy"):
+                assert run[key] == default[key], key
+
+    def test_off_run_has_no_fault_lane_and_zero_counters(self,
+                                                         monkeypatch):
+        monkeypatch.delenv("REPRO_FAULTS", raising=False)
+        run = _workload(None)
+        assert "fault" not in run["lane_busy"]
+        ctx = run["ctx"]
+        assert not ctx.device.faults.active
+        assert ctx.stats.faults_injected == 0
+        assert ctx.stats.faults_recovered == 0
+        assert ctx.stats.retries == 0
+        assert ctx.stats.backoff_s == 0.0
+        assert ctx.stats.solver_restarts == 0
+
+    def test_faulted_run_same_solution_different_clock(self):
+        """A faulted run must land on the same converged solution but
+        honestly pay for its recoveries in modeled time."""
+        clean = _workload(False)
+        plan = (FaultPlan(seed=42).add("launch", count=2)
+                .add("h2d", count=1))
+        faulted = _workload(plan)
+        assert plan.all_recovered()
+        assert np.allclose(faulted["x"], clean["x"],
+                           rtol=1e-8, atol=1e-12)
+        assert faulted["clock"] > clean["clock"]
+        assert faulted["lane_busy"].get("fault", 0) > 0
+        assert faulted["lane_busy"]["fault"] == \
+            pytest.approx(plan.counters.backoff_s)

@@ -1,0 +1,109 @@
+"""Solver-resilience tests: injected iterate corruption caught by the
+reliable-update defect guard and repaired by restart from the last
+good point."""
+
+import numpy as np
+import pytest
+
+from repro.core.context import Context
+from repro.faults import FaultPlan, install_plan
+from repro.qcd.mixedsolver import mixed_precision_cg
+from repro.qcd.solver import SolverError, cg
+from repro.qdp.fields import latt_fermion, latt_real
+from repro.qdp.lattice import Lattice
+
+DIMS = (4, 4, 4, 4)
+
+
+def _problem(ctx, seed=17, precision="f64"):
+    """A = diag(w), SPD; returns (apply_op, x, b)."""
+    lat = Lattice(DIMS)
+    rng = np.random.default_rng(seed)
+    w = latt_real(lat, precision, context=ctx)
+    w.from_numpy(rng.uniform(0.5, 1.5, lat.nsites))
+    b = latt_fermion(lat, precision, context=ctx)
+    b.gaussian(rng)
+    x = latt_fermion(lat, precision, context=ctx)
+
+    def apply_op(dest, src):
+        dest.assign(w.ref() * src.ref())
+
+    return apply_op, x, b
+
+
+class TestCGRestart:
+    def test_corruption_detected_and_converges(self):
+        plan = FaultPlan(seed=6).add("solver", count=1)
+        ctx = Context(faults=plan)
+        apply_op, x, b = _problem(ctx)
+        baseline_ctx = Context(faults=False)
+        op0, x0, b0 = _problem(baseline_ctx)
+        res0 = cg(op0, x0, b0, tol=1e-10, max_iter=200)
+
+        res = cg(apply_op, x, b, tol=1e-10, max_iter=200)
+        assert res.converged
+        assert res.residual_norm <= 1e-10
+        assert plan.counters.injected == 1
+        assert plan.counters.solver_restarts == 1
+        assert plan.all_recovered()
+        # the corrupted run pays iterations but lands on the same
+        # solution as the clean run
+        assert np.allclose(x.to_numpy(), x0.to_numpy(),
+                           rtol=1e-8, atol=1e-10)
+        assert res.iterations >= res0.iterations
+        assert ctx.stats.solver_restarts == 1
+
+    def test_unbounded_corruption_surfaces(self):
+        """Corruption on every iteration must exhaust the restart
+        budget and raise, not loop forever."""
+        plan = FaultPlan(seed=6).add("solver")
+        ctx = Context(faults=plan)
+        apply_op, x, b = _problem(ctx)
+        with pytest.raises(SolverError, match="defect persists"):
+            cg(apply_op, x, b, tol=1e-10, max_iter=500)
+
+    def test_defect_guard_idle_without_plan(self):
+        """No plan => reliable defaults to 0: no extra operator
+        applications, bit-identical to the historical path."""
+        ctx = Context(faults=False)
+        apply_op, x, b = _problem(ctx)
+        res = cg(apply_op, x, b, tol=1e-10, max_iter=200)
+        assert res.converged
+        assert ctx.stats.solver_restarts == 0
+
+    def test_same_seed_same_restart_trace(self):
+        def run(seed):
+            plan = FaultPlan(seed=seed).add("solver", count=2)
+            ctx = Context(faults=plan)
+            apply_op, x, b = _problem(ctx)
+            cg(apply_op, x, b, tol=1e-10, max_iter=300)
+            return plan.trace_signature()
+
+        assert run(13) == run(13)
+
+
+class TestMixedSolverRestart:
+    def test_outer_defect_guard_restarts_and_converges(self):
+        """Corrupt an inner f32 iterate: the outer true residual jumps
+        and the mixed solver restarts the outer step."""
+        plan = FaultPlan(seed=21).add("solver", count=1, match="*")
+        # keep the inner CG's own guard from catching it first: check
+        # seldom, so the corruption escapes to the outer residual
+        plan.policy.solver_check_interval = 10_000
+        ctx = Context(faults=plan)
+        install_plan(None)
+        apply_dp, x, b = _problem(ctx, precision="f64")
+        lat = Lattice(DIMS)
+        rng = np.random.default_rng(17)
+        w32 = latt_real(lat, "f32", context=ctx)
+        w32.from_numpy(rng.uniform(0.5, 1.5, lat.nsites))
+
+        def apply_sp(dest, src):
+            dest.assign(w32.ref() * src.ref())
+
+        res = mixed_precision_cg(apply_dp, apply_sp, x, b,
+                                 tol=1e-9, inner_tol=1e-5)
+        assert res.converged
+        assert res.residual_norm <= 1e-9
+        assert plan.counters.solver_restarts >= 1
+        assert ctx.stats.solver_restarts >= 1

@@ -64,6 +64,36 @@ class TestRoundTrip:
         u2, _ = load_config(tmp_path / "cfg.npz", validate=False)
         assert len(u2) == 4
 
+    def test_truncated_file_raises_checkpoint_error(self, ctx, lat4, rng,
+                                                    tmp_path):
+        """A half-written file (job killed mid-save before the atomic
+        rename era) must raise CheckpointError, not a raw zip error."""
+        u = weak_gauge(lat4, rng, eps=0.3)
+        save_config(tmp_path / "cfg", u)
+        blob = (tmp_path / "cfg.npz").read_bytes()
+        (tmp_path / "torn.npz").write_bytes(blob[:len(blob) // 2])
+        with pytest.raises(CheckpointError, match="truncated"):
+            load_config(tmp_path / "torn.npz")
+
+    def test_save_is_atomic(self, ctx, lat4, rng, tmp_path):
+        """save_config never exposes a partial file under the final
+        name: an existing good checkpoint survives a failed save, and
+        no *.tmp litter is left behind."""
+        import os
+        from unittest import mock
+
+        u = weak_gauge(lat4, rng, eps=0.3)
+        save_config(tmp_path / "cfg", u, trajectory=1)
+        good = (tmp_path / "cfg.npz").read_bytes()
+        with mock.patch("numpy.savez_compressed",
+                        side_effect=OSError("disk full")):
+            with pytest.raises(OSError, match="disk full"):
+                save_config(tmp_path / "cfg", u, trajectory=2)
+        assert (tmp_path / "cfg.npz").read_bytes() == good
+        assert [p for p in os.listdir(tmp_path) if p.endswith(".tmp")] == []
+        u2, header = load_config(tmp_path / "cfg.npz")
+        assert header.trajectory == 1
+
     def test_resume_hmc_from_checkpoint(self, ctx, lat_small, tmp_path):
         """Save mid-stream, reload, continue — trajectories after the
         reload must behave identically to an uninterrupted run."""

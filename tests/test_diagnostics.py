@@ -1,16 +1,24 @@
-"""Tests for the diagnostics layer: the REPRO_VERIFY knob."""
+"""Tests for the diagnostics layer: the REPRO_* mode knobs."""
 
 import warnings
 
 import pytest
 
 from repro import diagnostics
-from repro.diagnostics import verify_mode
+from repro.diagnostics import (
+    faults_mode,
+    fusion_mode,
+    stream_mode,
+    verify_mode,
+)
 
 
 @pytest.fixture(autouse=True)
 def _fresh_warn_cache(monkeypatch):
     monkeypatch.setattr(diagnostics, "_warned_verify_values", set())
+    monkeypatch.setattr(diagnostics, "_warned_fusion_values", set())
+    monkeypatch.setattr(diagnostics, "_warned_stream_values", set())
+    monkeypatch.setattr(diagnostics, "_warned_fault_values", set())
 
 
 class TestVerifyMode:
@@ -50,3 +58,61 @@ class TestVerifyMode:
         monkeypatch.setenv("REPRO_VERIFY", "b")
         with pytest.warns(RuntimeWarning, match="'b'"):
             verify_mode()
+
+
+class TestOnOffKnobs:
+    """REPRO_FUSION / REPRO_STREAMS share the resolver: identical
+    unknown-value handling — warn once naming the accepted set, fall
+    back to the default."""
+
+    CASES = [(fusion_mode, "REPRO_FUSION"), (stream_mode,
+                                             "REPRO_STREAMS")]
+
+    @pytest.mark.parametrize("mode_fn,env", CASES)
+    def test_unset_uses_default(self, mode_fn, env, monkeypatch):
+        monkeypatch.delenv(env, raising=False)
+        assert mode_fn() == "on"
+        assert mode_fn(default="off") == "off"
+
+    @pytest.mark.parametrize("mode_fn,env", CASES)
+    @pytest.mark.parametrize("value", ["on", "off", " ON ", "Off"])
+    def test_accepted_values_are_normalized(self, mode_fn, env, value,
+                                            monkeypatch):
+        monkeypatch.setenv(env, value)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert mode_fn() == value.strip().lower()
+
+    @pytest.mark.parametrize("mode_fn,env", CASES)
+    def test_bad_value_warns_once_and_falls_back(self, mode_fn, env,
+                                                 monkeypatch):
+        monkeypatch.setenv(env, "enabled")
+        with pytest.warns(RuntimeWarning) as record:
+            assert mode_fn() == "on"
+        (w,) = record
+        assert env in str(w.message)
+        assert "'enabled'" in str(w.message)
+        assert "on, off" in str(w.message)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")     # a repeat would raise
+            assert mode_fn() == "on"
+
+
+class TestFaultsMode:
+    def test_unset_is_off(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FAULTS", raising=False)
+        assert faults_mode() == "off"
+
+    def test_plan_strings_pass_through_normalized(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", " Plan:seed=3,alloc=1x ")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert faults_mode() == "plan:seed=3,alloc=1x"
+
+    def test_bad_value_warns_once_and_is_off(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "chaos")
+        with pytest.warns(RuntimeWarning, match="REPRO_FAULTS"):
+            assert faults_mode() == "off"
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")     # a repeat would raise
+            assert faults_mode() == "off"

@@ -81,7 +81,7 @@ class TestJSON:
     def test_exit_status_and_schema_version(self, run_json):
         status, report = run_json
         assert status == 0
-        assert report["schema_version"] == 3
+        assert report["schema_version"] == 4
         assert report["summary"]["status"] == "ok"
         assert report["summary"]["errors"] == 0
         assert report["summary"]["kernels"] == len(report["kernels"])
@@ -99,6 +99,20 @@ class TestJSON:
         assert rt["critical_path_s"] <= rt["elapsed_s"]
         assert sum(rt["lane_busy_s"].values()) == pytest.approx(
             rt["serial_s"])
+
+    def test_faults_block(self, run_json):
+        """Without REPRO_FAULTS, the faults block reports mode=off and
+        all-zero counters (the lint suite injects nothing)."""
+        _, report = run_json
+        faults = report["faults"]
+        assert set(faults) == {"mode", "injected", "recovered", "retries",
+                               "backoff_s", "solver_restarts"}
+        assert faults["mode"] == "off"
+        assert faults["injected"] == 0
+        assert faults["recovered"] == 0
+        assert faults["retries"] == 0
+        assert faults["backoff_s"] == 0.0
+        assert faults["solver_restarts"] == 0
 
     def test_cache_block(self, run_json):
         _, report = run_json

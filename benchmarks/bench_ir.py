@@ -1,0 +1,100 @@
+"""IR pass pipeline: per-kernel register footprint, off vs opt.
+
+Builds the full generated-kernel suite (eager statements, fused
+dslash/clover groups, reduction partials, halo face copies) twice —
+with the IR layer off and with ``REPRO_IR=opt`` — and compares each
+kernel's instruction count and liveness-based register footprint (the
+32-bit slot count the SM occupancy model charges).  The generated
+kernels are lattice-size independent, so a tiny lattice suffices.
+
+Emits ``BENCH_ir.json`` next to the CI lint report with the
+per-kernel and total numbers plus the per-pass statistics.
+"""
+
+import json
+import os
+from contextlib import contextmanager
+
+from repro.ptx.liveness import max_live_registers
+
+from _util import header, report, table
+
+DIMS = (2, 2, 2, 4)
+
+
+@contextmanager
+def _ir_env(mode):
+    old = os.environ.get("REPRO_IR")
+    os.environ["REPRO_IR"] = mode
+    try:
+        yield
+    finally:
+        if old is None:
+            del os.environ["REPRO_IR"]
+        else:
+            os.environ["REPRO_IR"] = old
+
+
+def _suite(mode):
+    """{kernel name: (instructions, live slots)} plus the ctx stats."""
+    from repro.lint import _build_kernel_suite, _suite_modules
+
+    with _ir_env(mode):
+        ctx, lat, _ = _build_kernel_suite(DIMS)
+        modules = _suite_modules(ctx, lat)
+    kernels = {}
+    for module, _, _ in modules:
+        kernels[module.name] = (len(module.instructions),
+                                max_live_registers(module.instructions))
+    return kernels, ctx.stats.ir
+
+
+def test_ir_register_footprint(tmp_path):
+    off, _ = _suite("off")
+    opt, ir = _suite("opt")
+    assert set(off) == set(opt)    # same kernel population
+
+    rows = []
+    records = []
+    for name in sorted(off):
+        i0, r0 = off[name]
+        i1, r1 = opt[name]
+        rows.append((name, i0, i1, r0, r1, r0 - r1))
+        records.append({"name": name,
+                        "instructions_off": i0, "instructions_opt": i1,
+                        "live_regs_off": r0, "live_regs_opt": r1})
+
+    total_off = sum(r0 for _, r0 in off.values())
+    total_opt = sum(r1 for _, r1 in opt.values())
+
+    header(f"IR pass pipeline: register footprint off vs opt "
+           f"({'x'.join(map(str, DIMS))}, f64)")
+    table(rows, ("kernel", "instrs off", "instrs opt",
+                 "regs off", "regs opt", "saved"))
+    report(f"total live 32-bit slots: {total_off} -> {total_opt} "
+           f"({total_off - total_opt} saved); "
+           f"pressure reverts: {ir.pressure_reverts}")
+    for name, counters in ir.passes.items():
+        facts = ", ".join(f"{k}={v}" for k, v in counters.items())
+        report(f"  {name}: {facts}")
+
+    out = {
+        "benchmark": "ir_register_footprint",
+        "lattice": list(DIMS),
+        "precision": "f64",
+        "kernels": records,
+        "total_live_regs_off": total_off,
+        "total_live_regs_opt": total_opt,
+        "pressure_reverts": ir.pressure_reverts,
+        "passes": ir.as_json()["passes"],
+    }
+    path = os.path.join(os.getcwd(), "BENCH_ir.json")
+    with open(path, "w") as f:
+        json.dump(out, f, indent=2)
+    report(f"wrote {path}")
+
+    # the tentpole's acceptance bar: opt reduces the total footprint
+    # and the pressure gate keeps every single kernel no worse
+    assert total_opt < total_off
+    assert all(opt[name][1] <= off[name][1] for name in off)
+    assert ir.pressure_reverts == 0

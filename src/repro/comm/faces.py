@@ -12,6 +12,7 @@ per element type.
 from __future__ import annotations
 
 from ..driver.cache import KernelCache
+from ..ir.pipeline import prepare_module
 from ..ptx.builder import KernelBuilder
 from ..ptx.isa import PTXType
 from ..ptx.module import PTXModule
@@ -20,7 +21,8 @@ from ..ptx.verifier import verify
 _FT = {"f32": PTXType.F32, "f64": PTXType.F64}
 
 
-def build_gather_kernel(words_per_site: int, precision: str) -> PTXModule:
+def build_gather_kernel(words_per_site: int, precision: str,
+                        ir_stats=None) -> PTXModule:
     """buf[w * nface + t] = field[w * nsites + sites[t]]"""
     kb = KernelBuilder(f"gather_w{words_per_site}_{precision}")
     p_lo = kb.add_param("p_lo", PTXType.S32)        # field site stride
@@ -30,12 +32,13 @@ def build_gather_kernel(words_per_site: int, precision: str) -> PTXModule:
     p_src = kb.add_param("p_src", PTXType.U64, is_pointer=True)   # field
     _emit_copy_body(kb, p_lo, p_n, p_sites, p_dst, p_src,
                     words_per_site, precision, gather=True)
-    module = PTXModule.from_builder(kb)
+    module = prepare_module(PTXModule.from_builder(kb), stats=ir_stats)
     verify(module)
     return module
 
 
-def build_scatter_kernel(words_per_site: int, precision: str) -> PTXModule:
+def build_scatter_kernel(words_per_site: int, precision: str,
+                         ir_stats=None) -> PTXModule:
     """field[w * nsites + sites[t]] = buf[w * nface + t]"""
     kb = KernelBuilder(f"scatter_w{words_per_site}_{precision}")
     p_lo = kb.add_param("p_lo", PTXType.S32)
@@ -45,7 +48,7 @@ def build_scatter_kernel(words_per_site: int, precision: str) -> PTXModule:
     p_src = kb.add_param("p_src", PTXType.U64, is_pointer=True)   # buffer
     _emit_copy_body(kb, p_lo, p_n, p_sites, p_dst, p_src,
                     words_per_site, precision, gather=False)
-    module = PTXModule.from_builder(kb)
+    module = prepare_module(PTXModule.from_builder(kb), stats=ir_stats)
     verify(module)
     return module
 
@@ -119,8 +122,9 @@ def face_env(kind: str, words_per_site: int, precision: str,
 class FaceKernels:
     """Per-context cache of compiled gather/scatter kernels."""
 
-    def __init__(self, kernel_cache: KernelCache):
+    def __init__(self, kernel_cache: KernelCache, ir_stats=None):
         self.kernel_cache = kernel_cache
+        self.ir_stats = ir_stats
         self._modules: dict[tuple, tuple] = {}
 
     def get(self, kind: str, words_per_site: int, precision: str):
@@ -129,7 +133,8 @@ class FaceKernels:
         if entry is None:
             build = (build_gather_kernel if kind == "gather"
                      else build_scatter_kernel)
-            module = build(words_per_site, precision)
+            module = build(words_per_site, precision,
+                           ir_stats=self.ir_stats)
             compiled, _ = self.kernel_cache.get_or_compile(module.render())
             entry = (module, compiled)
             self._modules[key] = entry

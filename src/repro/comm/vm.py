@@ -127,7 +127,8 @@ class VirtualMachine:
         #: halo-layer fault injector (drop/corrupt/timeout recovery);
         #: shares the rank devices' plan
         self.faults = FaultInjector(plan)
-        self.face_kernels = [FaceKernels(c.kernel_cache)
+        self.face_kernels = [FaceKernels(c.kernel_cache,
+                                         ir_stats=c.stats.ir)
                              for c in self.contexts]
         #: the VM's stream runtime: the *collective* step timeline
         #: (max-over-ranks costs), distinct from each rank context's

@@ -15,6 +15,7 @@ from ..device.autotune import Autotuner
 from ..device.gpu import Device
 from ..device.specs import DeviceSpec, K20X_ECC_OFF
 from ..driver.cache import KernelCache
+from ..ir.pipeline import IRStats
 from ..memory.cache import CacheStats, FieldCache
 
 
@@ -31,6 +32,8 @@ class ContextStats:
     #: generated-module cache outcomes (see :class:`ModuleCache`)
     module_cache_hits: int = 0
     module_cache_misses: int = 0
+    #: SSA IR layer counters (``REPRO_IR``; see :mod:`repro.ir.pipeline`)
+    ir: IRStats = field(default_factory=IRStats)
     #: backrefs wired by :class:`Context` so timeline/cache figures
     #: read live through ``ctx.stats`` (not copied counters)
     _runtime: object = field(default=None, repr=False, compare=False)

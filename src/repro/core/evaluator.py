@@ -23,6 +23,7 @@ from typing import TYPE_CHECKING
 
 from ..device.memmodel import KernelCost
 from ..diagnostics import verify_mode
+from ..ir.pipeline import prepare_module
 from ..ptx.absint import KernelEnv, MemRegion, merge_envs, table_region
 from ..ptx.verifier import verify
 from .codegen import _check_assign_types, build_expression_kernel
@@ -170,6 +171,7 @@ def _launch_statement(dest, expr: Expr, subset, ctx: Context) -> KernelCost:
         name = "eval_" + hashlib.sha256(key.encode()).hexdigest()[:12]
         module, plan = build_expression_kernel(name, expr, dest.spec,
                                                subset_mode)
+        module = prepare_module(module, stats=ctx.stats.ir)
         if mode != "off":
             verify(module, env=env)
         compiled, was_cached = ctx.kernel_cache.get_or_compile(module.render())

@@ -47,6 +47,7 @@ import hashlib
 from typing import TYPE_CHECKING
 
 from ..diagnostics import fusion_mode, verify_mode
+from ..ir.pipeline import prepare_module
 from ..ptx.absint import KernelEnv, MemRegion, merge_envs, table_region
 from ..ptx.verifier import verify
 from .codegen import build_fused_kernel
@@ -326,6 +327,7 @@ def _launch_group(ctx: "Context", group: Group,
             reduction=(None if reduction is None
                        else (reduction.kind, reduction.exprs)),
             subset_mode=subset_mode)
+        module = prepare_module(module, stats=ctx.stats.ir)
         if verify_mode() != "off":
             verify(module, env=env)
         compiled, was_cached = ctx.kernel_cache.get_or_compile(module.render())

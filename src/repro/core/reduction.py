@@ -14,6 +14,7 @@ import hashlib
 from dataclasses import replace as dc_replace
 from typing import TYPE_CHECKING
 
+from ..ir.pipeline import prepare_module
 from ..ptx.absint import MemRegion, merge_envs
 from ..ptx.builder import KernelBuilder
 from ..ptx.isa import PTXType
@@ -180,6 +181,7 @@ def _launch_partials(ctx: Context, kind: str, exprs: list[Expr],
         name = "red_" + hashlib.sha256(key.encode()).hexdigest()[:12]
         module = _build_reduction_kernel(name, kind, exprs, slots,
                                          subset_mode)
+        module = prepare_module(module, stats=ctx.stats.ir)
         verify(module, env=env)
         compiled, was_cached = ctx.kernel_cache.get_or_compile(module.render())
         if not was_cached:

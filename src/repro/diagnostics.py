@@ -73,6 +73,7 @@ VERIFY_MODES = ("off", "warn", "error")
 FUSION_MODES = ("on", "off")
 STREAM_MODES = ("on", "off")
 FAULT_MODES = ("off", "plan:<spec>")
+IR_MODES = ("off", "verify", "opt")
 
 #: Bad ``REPRO_*`` values already warned about, keyed per knob (warn
 #: once per distinct value, not once per kernel build).  The knob-mode
@@ -82,6 +83,7 @@ _warned_verify_values: set[str] = set()
 _warned_fusion_values: set[str] = set()
 _warned_stream_values: set[str] = set()
 _warned_fault_values: set[str] = set()
+_warned_ir_values: set[str] = set()
 
 
 def _env_mode(env_var: str, accepted: tuple[str, ...], default: str,
@@ -152,6 +154,24 @@ def stream_mode(default: str = "on") -> str:
     """
     return _env_mode("REPRO_STREAMS", STREAM_MODES, default,
                      _warned_stream_values)
+
+
+def ir_mode(default: str = "verify") -> str:
+    """The IR pipeline mode from the ``REPRO_IR`` knob.
+
+    ``off``
+        Bypass the IR layer entirely: generated modules go to the
+        verifier and driver JIT exactly as the unparser built them.
+    ``verify`` (default)
+        Build the SSA view of every generated module and check the
+        structural invariants (:mod:`repro.ir.verify`), then hand the
+        *original* module on — bitwise identical to ``off``.
+    ``opt``
+        Additionally run the optimization pass pipeline
+        (:mod:`repro.ir.pipeline`): results stay bitwise identical,
+        the instruction stream and register footprint shrink.
+    """
+    return _env_mode("REPRO_IR", IR_MODES, default, _warned_ir_values)
 
 
 def faults_mode(default: str = "off") -> str:

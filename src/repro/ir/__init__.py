@@ -1,0 +1,31 @@
+"""SSA mid-level IR between the expression unparser and PTX text.
+
+The code generators (:mod:`repro.core.codegen`) emit SSA by
+construction — every value gets a fresh register — but until this
+package the framework never *exploited* that: codegen, fusion, absint
+and the PTX verifier each re-derived fragments of dataflow reasoning
+over the raw instruction list.  ``repro.ir`` reifies the stream as an
+SSA function (:mod:`repro.ir.ssa`) with def/use chains and dominance,
+checks the SSA structural invariants (:mod:`repro.ir.verify`), and
+runs an optimization pass pipeline (:mod:`repro.ir.passes`,
+:mod:`repro.ir.pipeline`) before the module is rendered and handed to
+the driver JIT — the same mid-end position QDP-JIT gives LLVM.
+
+The pipeline is controlled by the ``REPRO_IR`` knob
+(:func:`repro.diagnostics.ir_mode`): ``off`` bypasses the layer
+entirely, ``verify`` (default) builds and checks the SSA view but
+returns the module untouched, ``opt`` additionally runs the passes.
+"""
+
+from .pipeline import DEFAULT_PIPELINE, IRStats, prepare_module
+from .ssa import SSAFunction
+from .verify import IRVerificationError, check_ssa
+
+__all__ = [
+    "DEFAULT_PIPELINE",
+    "IRStats",
+    "IRVerificationError",
+    "SSAFunction",
+    "check_ssa",
+    "prepare_module",
+]

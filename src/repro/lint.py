@@ -28,10 +28,10 @@ Exit status:
 ``2``
     Usage error (bad command line), per argparse convention.
 
-JSON schema (``schema_version`` 4)::
+JSON schema (``schema_version`` 5)::
 
     {
-      "schema_version": 4,
+      "schema_version": 5,
       "lattice": [int, ...],
       "passes": [str, ...],            # PTX verifier pass names
       "ast_passes": [str, ...],        # expression-AST lint pass names
@@ -87,6 +87,17 @@ JSON schema (``schema_version`` 4)::
         "injected": int, "recovered": int,
         "retries": int, "backoff_s": float,
         "solver_restarts": int
+      },
+      "ir": {                          # SSA IR layer (REPRO_IR)
+        "mode": "off" | "verify" | "opt",
+        "modules_verified": int,       # SSA views built and checked
+        "modules_optimized": int,      # streams rewritten under opt
+        "pressure_reverts": int,       # streams the pressure gate refused
+        "instructions_before": int,    # totals over optimized modules
+        "instructions_after": int,
+        "live_regs_before": int,       # liveness-based 32-bit slots
+        "live_regs_after": int,
+        "passes": {str: {str: int}}    # per-pass counters
       },
       "summary": {
         "kernels": int, "diagnostics": int,
@@ -198,7 +209,7 @@ def _suite_modules(ctx, lat, precision: str = "f64"):
     t_face = lat.face_sites(lat.nd - 1, +1)
     for kind, build in (("gather", build_gather_kernel),
                         ("scatter", build_scatter_kernel)):
-        module = build(24, precision)
+        module = build(24, precision, ir_stats=ctx.stats.ir)
         compiled, _ = ctx.kernel_cache.get_or_compile(module.render())
         env = face_env(kind, 24, precision, lat.nsites, t_face)
         out.append((module, compiled, env))
@@ -283,7 +294,7 @@ def main(argv=None) -> int:
                         help="lattice extents (default 4,4,4,4)")
     parser.add_argument("--json", action="store_true",
                         help="emit the report as a JSON document "
-                             "(schema_version 3; see module docstring)")
+                             "(schema_version 5; see module docstring)")
     parser.add_argument("-v", "--verbose", action="store_true",
                         help="print every diagnostic, notes included")
     args = parser.parse_args(argv)
@@ -370,13 +381,26 @@ def main(argv=None) -> int:
               f"recovered, {fc.retries} retry(ies), "
               f"{fc.backoff_s * 1e6:.1f} us backoff, "
               f"{fc.solver_restarts} solver restart(s)")
+        ir = ctx.stats.ir
+        print(f"\n-- IR (REPRO_IR={ir.mode or 'off'}) " + "-" * 32)
+        print(f"  {ir.modules_verified} module(s) SSA-verified, "
+              f"{ir.modules_optimized} optimized, "
+              f"{ir.pressure_reverts} pressure revert(s)")
+        if ir.modules_optimized:
+            print(f"  instructions {ir.instructions_before} -> "
+                  f"{ir.instructions_after}; live register slots "
+                  f"{ir.live_regs_before} -> {ir.live_regs_after} "
+                  f"({ir.live_regs_saved} saved)")
+            for name, counters in ir.passes.items():
+                facts = ", ".join(f"{k}={v}" for k, v in counters.items())
+                print(f"    {name}: {facts}")
         status = "FAIL" if failed else "ok"
         print(f"\nrepro.lint: {status}: {len(suite)} kernel(s) verified, "
               f"{n_diags} diagnostic(s), worst severity "
               f"{worst.label if n_diags else 'none'}")
     else:
         report = {
-            "schema_version": 4,
+            "schema_version": 5,
             "lattice": list(args.lattice),
             "passes": list(PASSES),
             "ast_passes": list(LINT_PASSES),
@@ -407,6 +431,7 @@ def main(argv=None) -> int:
                 "backoff_s": ctx.stats.backoff_s,
                 "solver_restarts": ctx.stats.solver_restarts,
             },
+            "ir": ctx.stats.ir.as_json(),
             "summary": {
                 "kernels": len(suite),
                 "diagnostics": n_diags,

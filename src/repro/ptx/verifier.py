@@ -15,6 +15,12 @@ Passes:
     predicates, branch targets, ``ld.param`` against the declared
     parameter list (existence *and* type), load/store address and
     value types, ``cvt``/``setp``/``selp`` shapes.
+``ssa-structure``
+    The SSA structural invariants the code generators guarantee and
+    the IR pass pipeline relies on (:mod:`repro.ir.verify`): single
+    definition per register, defs dominate uses, no dangling
+    operands.  A malformed stream fails here with a named diagnostic
+    instead of a deep unparser or pass traceback.
 ``definite-assignment``
     Forward dataflow proving every register is written on **every**
     path before it is read — branch-aware, unlike a linear scan,
@@ -160,6 +166,20 @@ def _check_operands(module: PTXModule, cfg: CFG) -> list[Diagnostic]:
             if inst.dst.type != want:
                 err("destination type mismatch", inst)
     return out
+
+
+# --- pass: SSA structure ---------------------------------------------------
+
+def _check_ssa_structure(module: PTXModule, cfg: CFG) -> list[Diagnostic]:
+    """Single def per register, defs dominate uses, no dangling
+    operands — delegated to the IR layer's structural verifier
+    (imported lazily: :mod:`repro.ir` builds on this package)."""
+    from ..ir.ssa import SSAFunction
+    from ..ir.verify import check_ssa
+
+    fn = SSAFunction.from_instructions(module.name, module.info.params,
+                                       list(module.instructions), cfg=cfg)
+    return check_ssa(fn, obj=module.name)
 
 
 # --- pass: definite assignment --------------------------------------------
@@ -364,6 +384,7 @@ def inst_render_safe(cfg: CFG, pos: int) -> str:
 #: a pass in ``ANALYSIS_PASSES`` is requested.
 PASSES = {
     "operands": lambda m, c, a: _check_operands(m, c),
+    "ssa-structure": lambda m, c, a: _check_ssa_structure(m, c),
     "definite-assignment": lambda m, c, a: _check_definite_assignment(m, c),
     "unreachable-code": lambda m, c, a: _check_unreachable(m, c),
     "return-paths": lambda m, c, a: _check_return_paths(m, c),

@@ -1,0 +1,380 @@
+"""Per-pass unit tests over hand-built SSA fragments."""
+
+import warnings
+
+import pytest
+
+from repro.ir import pipeline
+from repro.ir.passes import (
+    REMAT_DISTANCE,
+    dce,
+    gvn,
+    hoist,
+    remat,
+    sink,
+    strength,
+)
+from repro.ir.ssa import SSAFunction
+from repro.ir.verify import assert_ssa
+from repro.ptx.isa import Immediate, Instruction, PTXType, Register
+
+S64 = PTXType.S64
+F64 = PTXType.F64
+U64 = PTXType.U64
+
+
+def I(op, t, dst, srcs=(), **kw):          # noqa: E743 - terse fixture
+    return Instruction(op, t, dst, tuple(srcs), **kw)
+
+
+def r(t, i):
+    return Register(t, i)
+
+
+def imm(t, v):
+    return Immediate(t, v)
+
+
+def _fn(insts, name="frag"):
+    return SSAFunction.from_instructions(name, [], list(insts))
+
+
+def _check(insts):
+    """Every pass output must re-verify as SSA."""
+    assert_ssa(_fn(insts))
+    return insts
+
+
+class TestGVN:
+    def test_commutative_operands_collapse(self):
+        """``a*b`` vs ``b*a`` — the fusion CSE memo keys on AST shape
+        and misses this; value numbering does not."""
+        a, b = r(S64, 0), r(S64, 1)
+        m1, m2, s = r(S64, 2), r(S64, 3), r(S64, 4)
+        insts = [
+            I("mov", S64, a, [imm(S64, 3)]),
+            I("mov", S64, b, [imm(S64, 5)]),
+            I("mul.lo", S64, m1, [a, b]),
+            I("mul.lo", S64, m2, [b, a]),      # same value, swapped
+            I("add", S64, s, [m1, m2]),
+            I("ret", None, None),
+        ]
+        out, stats = gvn(_fn(insts))
+        _check(out)
+        assert stats["eliminated"] == 1
+        add = next(i for i in out if i.opcode == "add")
+        assert add.srcs == (m1, m1)
+
+    def test_gap_dedup_refused(self):
+        """Collapsing onto a value whose live range already ended
+        would keep it live across the gap — pressure-bounded GVN
+        recomputes instead."""
+        a, b = r(S64, 0), r(S64, 1)
+        m1, u1, m2, u2 = r(S64, 2), r(S64, 3), r(S64, 4), r(S64, 5)
+        insts = [
+            I("mov", S64, a, [imm(S64, 3)]),
+            I("mov", S64, b, [imm(S64, 5)]),
+            I("mul.lo", S64, m1, [a, b]),
+            I("add", S64, u1, [m1, m1]),       # m1 dies here
+            I("mul.lo", S64, m2, [a, b]),      # same value, after the gap
+            I("add", S64, u2, [m2, m2]),
+            I("ret", None, None),
+        ]
+        out, stats = gvn(_fn(insts))
+        _check(out)
+        assert stats["eliminated"] == 0
+        assert sum(1 for i in out if i.opcode == "mul.lo") == 2
+
+    def test_loads_never_value_numbered(self):
+        addr, v1, v2, s = r(U64, 0), r(F64, 0), r(F64, 1), r(F64, 2)
+        insts = [
+            I("mov", U64, addr, [imm(U64, 64)]),
+            I("ld.global", F64, v1, [addr]),
+            I("ld.global", F64, v2, [addr]),
+            I("add", F64, s, [v1, v2]),
+            I("ret", None, None),
+        ]
+        out, stats = gvn(_fn(insts))
+        assert stats["eliminated"] == 0
+        assert sum(1 for i in out if i.opcode == "ld.global") == 2
+
+
+class TestHoist:
+    def _frag(self, with_store):
+        addr, v1, v2, s = r(U64, 0), r(F64, 0), r(F64, 1), r(F64, 2)
+        insts = [
+            I("mov", U64, addr, [imm(U64, 64)]),
+            I("ld.global", F64, v1, [addr]),
+        ]
+        if with_store:
+            insts.append(I("st.global", F64, None, [addr, v1]))
+        insts += [
+            I("ld.global", F64, v2, [addr]),
+            I("add", F64, s, [v1, v2]),
+            I("st.global", F64, None, [addr, s]),
+            I("ret", None, None),
+        ]
+        return insts, v1
+
+    def test_redundant_load_eliminated(self):
+        insts, v1 = self._frag(with_store=False)
+        out, stats = hoist(_fn(insts))
+        _check(out)
+        assert stats["loads_eliminated"] == 1
+        add = next(i for i in out if i.opcode == "add")
+        assert add.srcs == (v1, v1)
+
+    def test_store_invalidates_availability(self):
+        """Kernel parameters may alias, so any store kills every
+        available load."""
+        insts, _ = self._frag(with_store=True)
+        out, stats = hoist(_fn(insts))
+        _check(out)
+        assert stats["loads_eliminated"] == 0
+        assert sum(1 for i in out if i.opcode == "ld.global") == 2
+
+
+class TestStrength:
+    def test_power_of_two_mul_becomes_shift(self):
+        a, m = r(S64, 0), r(S64, 1)
+        insts = [
+            I("mov", S64, a, [imm(S64, 7)]),
+            I("mul.lo", S64, m, [a, imm(S64, 8)]),
+            I("st.global", S64, None, [imm(U64, 64), m]),
+            I("ret", None, None),
+        ]
+        out, stats = strength(_fn(insts))
+        assert stats["reduced"] == 1
+        shl = next(i for i in out if i.opcode == "shl")
+        assert shl.srcs[1].value == 3
+
+    def test_mul_by_one_copy_propagates(self):
+        a, m, s = r(S64, 0), r(S64, 1), r(S64, 2)
+        insts = [
+            I("mov", S64, a, [imm(S64, 7)]),
+            I("mul.lo", S64, m, [a, imm(S64, 1)]),
+            I("add", S64, s, [m, m]),
+            I("ret", None, None),
+        ]
+        out, stats = strength(_fn(insts))
+        assert stats["copies_propagated"] == 1
+        add = next(i for i in out if i.opcode == "add")
+        assert add.srcs == (a, a)                  # m replaced by a
+
+    def test_mad_with_unit_scale_becomes_add(self):
+        a, c, m = r(S64, 0), r(S64, 1), r(S64, 2)
+        insts = [
+            I("mov", S64, a, [imm(S64, 7)]),
+            I("mov", S64, c, [imm(S64, 9)]),
+            I("mad.lo", S64, m, [a, imm(S64, 1), c]),
+            I("st.global", S64, None, [imm(U64, 64), m]),
+            I("ret", None, None),
+        ]
+        out, stats = strength(_fn(insts))
+        assert stats["reduced"] == 1
+        assert any(i.opcode == "add" and i.srcs == (a, c) for i in out)
+
+    def test_float_arithmetic_untouched(self):
+        a, m = r(F64, 0), r(F64, 1)
+        insts = [
+            I("mov", F64, a, [imm(F64, 7.0)]),
+            I("mul", F64, m, [a, imm(F64, 1.0)]),
+            I("st.global", F64, None, [imm(U64, 64), m]),
+            I("ret", None, None),
+        ]
+        out, stats = strength(_fn(insts))
+        assert stats == {"reduced": 0, "copies_propagated": 0}
+        assert any(i.opcode == "mul" for i in out)
+
+
+class TestDCE:
+    def test_transitively_dead_chain_removed(self):
+        a, b, c, live = r(S64, 0), r(S64, 1), r(S64, 2), r(S64, 3)
+        insts = [
+            I("mov", S64, live, [imm(S64, 1)]),
+            I("mov", S64, a, [imm(S64, 2)]),
+            I("add", S64, b, [a, a]),          # only feeds c
+            I("add", S64, c, [b, b]),          # never observed
+            I("st.global", S64, None, [imm(U64, 64), live]),
+            I("ret", None, None),
+        ]
+        out, stats = dce(_fn(insts))
+        _check(out)
+        assert stats["removed"] == 3
+        assert [i.opcode for i in out] == ["mov", "st.global", "ret"]
+
+    def test_stores_and_control_flow_kept(self):
+        insts = [
+            I("mov", S64, r(S64, 0), [imm(S64, 1)]),
+            I("st.global", S64, None, [imm(U64, 64), r(S64, 0)]),
+            I("ret", None, None),
+        ]
+        out, stats = dce(_fn(insts))
+        assert stats["removed"] == 0
+        assert len(out) == 3
+
+
+class TestRemat:
+    def _long_range_frag(self):
+        """``v`` is defined, then used well past REMAT_DISTANCE with
+        nothing keeping its inputs alive in between."""
+        p, v = r(S64, 0), r(S64, 1)
+        insts = [
+            I("mov", S64, p, [imm(S64, 11)]),
+            I("shl", S64, v, [p, imm(S64, 2)]),
+        ]
+        f = r(S64, 2)
+        insts.append(I("mov", S64, f, [imm(S64, 0)]))
+        prev = f
+        for i in range(REMAT_DISTANCE + 4):
+            nxt = r(S64, 3 + i)
+            insts.append(I("add", S64, nxt, [prev, prev]))
+            prev = nxt
+        u = r(S64, 3 + REMAT_DISTANCE + 4)
+        insts.append(I("add", S64, u, [v, prev]))
+        insts.append(I("st.global", S64, None, [imm(U64, 64), u]))
+        insts.append(I("ret", None, None))
+        return insts, v, u
+
+    def test_distant_use_recomputed(self):
+        insts, v, u = self._long_range_frag()
+        out, stats = remat(_fn(insts))
+        _check(out)
+        assert stats["rematerialized"] == 1
+        assert stats["cloned"] == 2            # the mov and the shl
+        use = next(i for i in out if i.dst == u)
+        (clone, _prev) = use.srcs
+        assert clone != v                      # redirected to the clone
+        # the clone chain sits immediately before the use
+        pos = out.index(use)
+        assert out[pos - 1].dst == clone
+        assert out[pos - 1].opcode == "shl"
+
+    def test_remat_then_dce_drops_the_original(self):
+        insts, v, _u = self._long_range_frag()
+        out, _ = remat(_fn(insts))
+        out, _ = dce(_fn(out))
+        _check(out)
+        assert not any(i.dst == v for i in out)
+
+    def test_setp_compared_registers_never_cloned(self):
+        """Cloning a range-refined register would break the absint
+        bounds proof, so remat must leave it (and chains needing it)
+        alone."""
+        insts, v, u = self._long_range_frag()
+        pred = Register(PTXType.PRED, 0)
+        # compare v: it becomes a refinement anchor
+        insts.insert(2, I("setp", PTXType.S32, pred, [v, imm(S64, 100)],
+                          cmp="lt"))
+        out, stats = remat(_fn(insts))
+        _check(out)
+        assert stats["rematerialized"] == 0
+        use = next(i for i in out if i.dst == u)
+        assert use.srcs[0] == v                # still the original
+
+    def test_nearby_uses_left_alone(self):
+        p, v, u = r(S64, 0), r(S64, 1), r(S64, 2)
+        insts = [
+            I("mov", S64, p, [imm(S64, 11)]),
+            I("shl", S64, v, [p, imm(S64, 2)]),
+            I("add", S64, u, [v, v]),
+            I("st.global", S64, None, [imm(U64, 64), u]),
+            I("ret", None, None),
+        ]
+        out, stats = remat(_fn(insts))
+        assert stats["rematerialized"] == 0
+        assert [i.opcode for i in out] == [i.opcode for i in insts]
+
+    def test_loads_never_rematerialized(self):
+        """A value produced by ``ld.global`` depends on memory state —
+        its distant use must keep referencing the original load."""
+        addr, v = r(U64, 0), r(S64, 0)
+        insts = [
+            I("mov", U64, addr, [imm(U64, 64)]),
+            I("ld.global", S64, v, [addr]),
+        ]
+        prev = r(S64, 1)
+        insts.append(I("mov", S64, prev, [imm(S64, 0)]))
+        for i in range(REMAT_DISTANCE + 4):
+            nxt = r(S64, 2 + i)
+            insts.append(I("add", S64, nxt, [prev, prev]))
+            prev = nxt
+        u = r(S64, 2 + REMAT_DISTANCE + 4)
+        insts.append(I("add", S64, u, [v, prev]))
+        insts.append(I("st.global", S64, None, [addr, u]))
+        insts.append(I("ret", None, None))
+        out, stats = remat(_fn(insts))
+        _check(out)
+        assert sum(1 for i in out if i.opcode == "ld.global") == 1
+        use = next(i for i in out if i.dst == u)
+        assert use.srcs[0] == v                # not redirected
+
+
+class TestSink:
+    def test_single_use_with_live_sources_sinks(self):
+        a, v, u = r(S64, 0), r(S64, 1), r(S64, 2)
+        filler = [r(S64, 3 + i) for i in range(3)]
+        insts = [
+            I("mov", S64, a, [imm(S64, 3)]),
+            I("add", S64, v, [a, a]),          # single use, far below
+        ]
+        prev = a
+        for f in filler:
+            insts.append(I("add", S64, f, [prev, a]))   # keeps a live
+            prev = f
+        insts.append(I("add", S64, u, [v, a]))
+        insts.append(I("st.global", S64, None, [imm(U64, 64), u]))
+        insts.append(I("ret", None, None))
+        out, stats = sink(_fn(insts))
+        _check(out)
+        assert stats["moved"] > 0
+        pos_v = next(i for i, x in enumerate(out) if x.dst == v)
+        pos_u = next(i for i, x in enumerate(out) if x.dst == u)
+        assert pos_u - pos_v == 1              # right before its use
+
+    def test_sink_refused_when_sources_would_live_longer(self):
+        """Sinking a value whose inputs die at its definition would
+        extend the inputs' ranges — the reduction-tree regression."""
+        a, b, v, c, u = (r(S64, 0), r(S64, 1), r(S64, 2), r(S64, 3),
+                         r(S64, 4))
+        filler = [r(S64, 5 + i) for i in range(3)]
+        insts = [
+            I("mov", S64, a, [imm(S64, 3)]),
+            I("mov", S64, b, [imm(S64, 5)]),
+            I("add", S64, v, [a, b]),          # a and b die here
+            I("mov", S64, c, [imm(S64, 1)]),
+        ]
+        prev = c
+        for f in filler:
+            insts.append(I("add", S64, f, [prev, prev]))
+            prev = f
+        insts.append(I("add", S64, u, [v, prev]))
+        insts.append(I("st.global", S64, None, [imm(U64, 64), u]))
+        insts.append(I("ret", None, None))
+        out, stats = sink(_fn(insts))
+        assert stats["moved"] == 0
+        assert [i.dst for i in out] == [i.dst for i in insts]
+
+
+class TestPassSelection:
+    @pytest.fixture(autouse=True)
+    def _fresh(self, monkeypatch):
+        monkeypatch.delenv("REPRO_IR_PASSES", raising=False)
+        monkeypatch.setattr(pipeline, "_warned_pass_values", set())
+
+    def test_default_is_full_pipeline(self):
+        assert pipeline.selected_passes() == pipeline.DEFAULT_PIPELINE
+        assert set(pipeline.DEFAULT_PIPELINE) >= {"gvn", "hoist",
+                                                  "strength", "dce"}
+
+    def test_subset_keeps_pipeline_order(self, monkeypatch):
+        monkeypatch.setenv("REPRO_IR_PASSES", "dce,gvn")
+        assert pipeline.selected_passes() == ("gvn", "dce")
+
+    def test_unknown_names_warn_once_and_drop(self, monkeypatch):
+        monkeypatch.setenv("REPRO_IR_PASSES", "gvn,bogus")
+        with pytest.warns(RuntimeWarning, match="bogus"):
+            assert pipeline.selected_passes() == ("gvn",)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")     # a repeat would raise
+            assert pipeline.selected_passes() == ("gvn",)

@@ -30,7 +30,7 @@ def _one_armed_def():
     kb.bra("$SKIP", guard=p)
     x = kb.new_reg(PTXType.F64)
     kb.emit(Instruction("mov", PTXType.F64, x,
-                        (Immediate(1.0, PTXType.F64),)))
+                        (Immediate(PTXType.F64, 1.0),)))
     kb.label("$SKIP")
     y = kb.new_reg(PTXType.F64)
     kb.emit(Instruction("add", PTXType.F64, y, (x, x)))
@@ -59,11 +59,11 @@ class TestDefiniteAssignment:
         x = kb.new_reg(PTXType.F64)
         kb.bra("$ELSE", guard=p)
         kb.emit(Instruction("mov", PTXType.F64, x,
-                            (Immediate(1.0, PTXType.F64),)))
+                            (Immediate(PTXType.F64, 1.0),)))
         kb.bra("$JOIN")
         kb.label("$ELSE")
         kb.emit(Instruction("mov", PTXType.F64, x,
-                            (Immediate(2.0, PTXType.F64),)))
+                            (Immediate(PTXType.F64, 2.0),)))
         kb.label("$JOIN")
         y = kb.new_reg(PTXType.F64)
         kb.emit(Instruction("add", PTXType.F64, y, (x, x)))
@@ -207,7 +207,8 @@ class TestPipeline:
     def test_pass_registry_names(self):
         from repro.ptx.verifier import PASSES
 
-        assert set(PASSES) == {"operands", "definite-assignment",
+        assert set(PASSES) == {"operands", "ssa-structure",
+                               "definite-assignment",
                                "unreachable-code", "return-paths",
                                "proven-bounds", "coalescing",
                                "divergence"}

@@ -8,6 +8,7 @@ from repro import diagnostics
 from repro.diagnostics import (
     faults_mode,
     fusion_mode,
+    ir_mode,
     stream_mode,
     verify_mode,
 )
@@ -19,6 +20,7 @@ def _fresh_warn_cache(monkeypatch):
     monkeypatch.setattr(diagnostics, "_warned_fusion_values", set())
     monkeypatch.setattr(diagnostics, "_warned_stream_values", set())
     monkeypatch.setattr(diagnostics, "_warned_fault_values", set())
+    monkeypatch.setattr(diagnostics, "_warned_ir_values", set())
 
 
 class TestVerifyMode:
@@ -116,3 +118,30 @@ class TestFaultsMode:
         with warnings.catch_warnings():
             warnings.simplefilter("error")     # a repeat would raise
             assert faults_mode() == "off"
+
+
+class TestIrMode:
+    def test_unset_uses_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_IR", raising=False)
+        assert ir_mode() == "verify"
+        assert ir_mode(default="off") == "off"
+
+    @pytest.mark.parametrize("value", ["off", "verify", "opt",
+                                       " Opt ", "VERIFY"])
+    def test_accepted_values_are_normalized(self, value, monkeypatch):
+        monkeypatch.setenv("REPRO_IR", value)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert ir_mode() == value.strip().lower()
+
+    def test_bad_value_warns_once_naming_accepted_set(self, monkeypatch):
+        monkeypatch.setenv("REPRO_IR", "aggressive")
+        with pytest.warns(RuntimeWarning) as record:
+            assert ir_mode() == "verify"
+        (w,) = record
+        assert "REPRO_IR" in str(w.message)
+        assert "'aggressive'" in str(w.message)
+        assert "off, verify, opt" in str(w.message)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")     # a repeat would raise
+            assert ir_mode() == "verify"

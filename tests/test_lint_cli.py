@@ -81,7 +81,7 @@ class TestJSON:
     def test_exit_status_and_schema_version(self, run_json):
         status, report = run_json
         assert status == 0
-        assert report["schema_version"] == 4
+        assert report["schema_version"] == 5
         assert report["summary"]["status"] == "ok"
         assert report["summary"]["errors"] == 0
         assert report["summary"]["kernels"] == len(report["kernels"])
@@ -99,6 +99,21 @@ class TestJSON:
         assert rt["critical_path_s"] <= rt["elapsed_s"]
         assert sum(rt["lane_busy_s"].values()) == pytest.approx(
             rt["serial_s"])
+
+    def test_ir_block(self, run_json):
+        """Under the default REPRO_IR=verify, every suite kernel gets
+        an SSA structural check and nothing is rewritten."""
+        _, report = run_json
+        ir = report["ir"]
+        assert set(ir) == {"mode", "modules_verified", "modules_optimized",
+                           "pressure_reverts", "instructions_before",
+                           "instructions_after", "live_regs_before",
+                           "live_regs_after", "passes"}
+        assert ir["mode"] in ("off", "verify", "opt")
+        if ir["mode"] == "verify":
+            assert ir["modules_verified"] == report["summary"]["kernels"]
+            assert ir["modules_optimized"] == 0
+            assert ir["passes"] == {}
 
     def test_faults_block(self, run_json):
         """Without REPRO_FAULTS, the faults block reports mode=off and

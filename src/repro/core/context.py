@@ -39,6 +39,17 @@ class ContextStats:
     _runtime: object = field(default=None, repr=False, compare=False)
     _field_cache: object = field(default=None, repr=False, compare=False)
     _faults: object = field(default=None, repr=False, compare=False)
+    _kernel_cache: object = field(default=None, repr=False, compare=False)
+
+    @property
+    def backend(self):
+        """Per-backend dispatch counters (``REPRO_BACKEND``): kernels
+        built, compile seconds, launches and sim-fallbacks per backend
+        (:class:`repro.driver.backends.BackendStats`)."""
+        from ..driver.backends import BackendStats
+
+        return (self._kernel_cache.backend if self._kernel_cache
+                else BackendStats())
 
     @property
     def overlap_fraction(self) -> float:
@@ -138,7 +149,8 @@ class Context:
         self.default_block_size = default_block_size
         self.stats = ContextStats(_runtime=self.device.runtime,
                                   _field_cache=self.field_cache,
-                                  _faults=self.device.faults)
+                                  _faults=self.device.faults,
+                                  _kernel_cache=self.kernel_cache)
         #: structural expression signature -> (PTXModule, plan, compiled)
         self.module_cache: ModuleCache = ModuleCache(self.stats)
         #: kernel name -> ptx.absint.KernelEnv covering every launch

@@ -54,6 +54,9 @@ class DeviceStats:
     modeled_transfer_time_s: float = 0.0
     modeled_jit_time_s: float = 0.0
     per_kernel_time_s: dict = field(default_factory=dict)
+    #: measured host wall-clock per kernel name (what the active
+    #: execution backend actually cost, vs the modeled GPU time above)
+    per_kernel_wall_s: dict = field(default_factory=dict)
 
 
 class Device:
@@ -212,6 +215,8 @@ class Device:
         self.stats.wall_kernel_time_s += wall
         per = self.stats.per_kernel_time_s
         per[kernel.name] = per.get(kernel.name, 0.0) + cost.time_s
+        pw = self.stats.per_kernel_wall_s
+        pw[kernel.name] = pw.get(kernel.name, 0.0) + wall
         self.clock += cost.time_s
         s = stream if stream is not None else self.runtime.compute
         s.enqueue(kernel.name, cost.time_s, "kernel",

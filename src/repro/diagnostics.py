@@ -74,6 +74,7 @@ FUSION_MODES = ("on", "off")
 STREAM_MODES = ("on", "off")
 FAULT_MODES = ("off", "plan:<spec>")
 IR_MODES = ("off", "verify", "opt")
+BACKEND_MODES = ("sim", "cpu")
 
 #: Bad ``REPRO_*`` values already warned about, keyed per knob (warn
 #: once per distinct value, not once per kernel build).  The knob-mode
@@ -84,6 +85,7 @@ _warned_fusion_values: set[str] = set()
 _warned_stream_values: set[str] = set()
 _warned_fault_values: set[str] = set()
 _warned_ir_values: set[str] = set()
+_warned_backend_values: set[str] = set()
 
 
 def _env_mode(env_var: str, accepted: tuple[str, ...], default: str,
@@ -172,6 +174,29 @@ def ir_mode(default: str = "verify") -> str:
         the instruction stream and register footprint shrink.
     """
     return _env_mode("REPRO_IR", IR_MODES, default, _warned_ir_values)
+
+
+def backend_mode(default: str = "sim",
+                 accepted: tuple[str, ...] = BACKEND_MODES) -> str:
+    """The execution-backend mode from the ``REPRO_BACKEND`` knob.
+
+    ``sim`` (default)
+        Kernels execute through the simulated driver JIT — the PTX
+        translator of :mod:`repro.driver.jitcompiler`, the reference
+        execution semantics everything else is checked against.
+    ``cpu``
+        Kernels execute through the compiled CPU backend: PTX is
+        transpiled to structured LLVM-style IR and code-generated into
+        vectorized NumPy (:mod:`repro.llvm.cputarget`).  Results are
+        bitwise identical to ``sim``; kernels outside the transpilable
+        subset fall back to ``sim`` per kernel with a one-time warning.
+
+    ``accepted`` defaults to the built-in set; the backend registry
+    (:mod:`repro.driver.backends`) passes its registered names so
+    dynamically registered backends are selectable through the knob.
+    """
+    return _env_mode("REPRO_BACKEND", accepted, default,
+                     _warned_backend_values)
 
 
 def faults_mode(default: str = "off") -> str:

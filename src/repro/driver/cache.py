@@ -5,6 +5,11 @@ process; subsequent requests hit this cache.  The paper measures the
 translation cost at 0.05-0.22 s per kernel and ~200 distinct kernels
 per HMC trajectory — the cache is what makes the total overhead the
 "10-30 seconds, negligible" of Sec. VIII-D.
+
+Every compile (and cache hit) also runs the backend registry's
+per-kernel dispatch (:func:`repro.driver.backends.select_backend`):
+under ``REPRO_BACKEND=cpu`` the kernel additionally gets a compiled
+NumPy callable attached, with graceful per-kernel fallback to ``sim``.
 """
 
 from __future__ import annotations
@@ -12,6 +17,7 @@ from __future__ import annotations
 import hashlib
 from dataclasses import dataclass
 
+from .backends import BackendStats, select_backend
 from .jitcompiler import CompiledKernel, compile_ptx
 
 
@@ -33,6 +39,8 @@ class KernelCache:
     def __init__(self):
         self._kernels: dict[str, CompiledKernel] = {}
         self.stats = CacheStats()
+        #: per-backend dispatch accounting (``ctx.stats.backend``)
+        self.backend = BackendStats()
 
     @staticmethod
     def key_for(ptx_text: str) -> str:
@@ -44,13 +52,17 @@ class KernelCache:
         kernel = self._kernels.get(key)
         if kernel is not None:
             self.stats.hits += 1
+            # re-dispatch on every hit: the knob may have changed
+            select_backend(kernel, self.backend)
             return kernel, True
         kernel = compile_ptx(ptx_text)
+        kernel.backend_stats = self.backend
         self._kernels[key] = kernel
         self.stats.misses += 1
         self.stats.total_compile_seconds += kernel.compile_seconds
         self.stats.total_modeled_compile_seconds += (
             kernel.modeled_compile_seconds)
+        select_backend(kernel, self.backend)
         return kernel, False
 
     def __len__(self) -> int:

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import math
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -121,7 +121,14 @@ def _mand(m, p):
 
 @dataclass
 class CompiledKernel:
-    """A kernel translated by the driver JIT, ready to launch."""
+    """A kernel translated by the driver JIT, ready to launch.
+
+    ``func`` is the driver's own (``sim``) translation; the backend
+    registry (:mod:`repro.driver.backends`) may attach alternative
+    callables per backend name in ``backend_funcs`` and select one via
+    ``backend`` — a launch dispatches to the selected backend, falling
+    back to ``func`` if none was attached.
+    """
 
     name: str
     func: object
@@ -131,9 +138,22 @@ class CompiledKernel:
     compile_seconds: float       # measured wall-clock of this translation
     modeled_compile_seconds: float  # the modeled NVIDIA-driver JIT cost
     regs_per_thread: int
+    #: backend name -> launchable callable ("sim" is ``func``)
+    backend_funcs: dict = field(default_factory=dict)
+    #: failed backend builds: backend name -> unsupported construct
+    backend_errors: dict = field(default_factory=dict)
+    #: the backend a launch dispatches to (set by the registry)
+    backend: str = "sim"
+    #: per-backend launch accounting, shared with the owning cache
+    backend_stats: object = None
 
     def __call__(self, views, params, grid_dim, block_dim):
-        self.func(views, params, grid_dim, block_dim)
+        func = self.backend_funcs.get(self.backend)
+        if func is None:
+            func = self.func
+        if self.backend_stats is not None:
+            self.backend_stats.note_launch(self.backend)
+        func(views, params, grid_dim, block_dim)
 
 
 def modeled_jit_time(n_instructions: int) -> float:

@@ -28,10 +28,10 @@ Exit status:
 ``2``
     Usage error (bad command line), per argparse convention.
 
-JSON schema (``schema_version`` 5)::
+JSON schema (``schema_version`` 6)::
 
     {
-      "schema_version": 5,
+      "schema_version": 6,
       "lattice": [int, ...],
       "passes": [str, ...],            # PTX verifier pass names
       "ast_passes": [str, ...],        # expression-AST lint pass names
@@ -87,6 +87,16 @@ JSON schema (``schema_version`` 5)::
         "injected": int, "recovered": int,
         "retries": int, "backoff_s": float,
         "solver_restarts": int
+      },
+      "backend": {                     # execution backends (REPRO_BACKEND)
+        "mode": str,                   # resolved knob value ("sim"/"cpu")
+        "kernels": {str: int},         # backend -> kernels built for it
+        "compile_seconds": {str: float},
+        "launches": {str: int},        # backend -> launches through it
+        "fallbacks": int,              # non-sim builds that degraded
+        "fallback_kernels": {str: str},# kernel -> unsupported construct
+        "wall_s_by_family": {str: float}  # measured host wall-clock per
+                                       # kernel family (eval/fus/red/...)
       },
       "ir": {                          # SSA IR layer (REPRO_IR)
         "mode": "off" | "verify" | "opt",
@@ -216,6 +226,20 @@ def _suite_modules(ctx, lat, precision: str = "f64"):
     return out
 
 
+def _wall_by_family(per_kernel_wall_s: dict) -> dict:
+    """Aggregate measured per-kernel wall-clock by kernel family.
+
+    Generated kernel names are ``<family>_<hash>`` (eval/fus/red/
+    gather/scatter...); the family is what is comparable across runs —
+    the hash suffix changes with lattice size and expression shape.
+    """
+    out: dict[str, float] = {}
+    for name, secs in per_kernel_wall_s.items():
+        fam = name.split("_")[0]
+        out[fam] = out.get(fam, 0.0) + secs
+    return out
+
+
 def _diag_json(d) -> dict:
     return {"severity": d.severity.label, "pass": d.pass_name,
             "message": d.message, "location": d.location}
@@ -294,7 +318,7 @@ def main(argv=None) -> int:
                         help="lattice extents (default 4,4,4,4)")
     parser.add_argument("--json", action="store_true",
                         help="emit the report as a JSON document "
-                             "(schema_version 5; see module docstring)")
+                             "(schema_version 6; see module docstring)")
     parser.add_argument("-v", "--verbose", action="store_true",
                         help="print every diagnostic, notes included")
     args = parser.parse_args(argv)
@@ -394,13 +418,29 @@ def main(argv=None) -> int:
             for name, counters in ir.passes.items():
                 facts = ", ".join(f"{k}={v}" for k, v in counters.items())
                 print(f"    {name}: {facts}")
+        be = ctx.stats.backend
+        print(f"\n-- backends (REPRO_BACKEND={be.mode}) " + "-" * 26)
+        for name in sorted(set(be.kernels) | set(be.launches)):
+            print(f"  {name}: {be.kernels.get(name, 0)} kernel(s) built "
+                  f"in {be.compile_seconds.get(name, 0.0) * 1e3:.1f} ms, "
+                  f"{be.launches.get(name, 0)} launch(es)")
+        if be.fallbacks:
+            print(f"  {be.fallbacks} fallback(s) to sim:")
+            for kname, why in be.fallback_kernels.items():
+                print(f"    {kname}: {why}")
+        fam = _wall_by_family(ctx.device.stats.per_kernel_wall_s)
+        if fam:
+            wall = ", ".join(f"{k} {v * 1e3:.1f} ms"
+                             for k, v in sorted(fam.items()))
+            print(f"  measured kernel wall-clock: {wall}")
         status = "FAIL" if failed else "ok"
         print(f"\nrepro.lint: {status}: {len(suite)} kernel(s) verified, "
               f"{n_diags} diagnostic(s), worst severity "
               f"{worst.label if n_diags else 'none'}")
     else:
+        be = ctx.stats.backend
         report = {
-            "schema_version": 5,
+            "schema_version": 6,
             "lattice": list(args.lattice),
             "passes": list(PASSES),
             "ast_passes": list(LINT_PASSES),
@@ -430,6 +470,16 @@ def main(argv=None) -> int:
                 "retries": ctx.stats.retries,
                 "backoff_s": ctx.stats.backoff_s,
                 "solver_restarts": ctx.stats.solver_restarts,
+            },
+            "backend": {
+                "mode": be.mode,
+                "kernels": dict(be.kernels),
+                "compile_seconds": dict(be.compile_seconds),
+                "launches": dict(be.launches),
+                "fallbacks": be.fallbacks,
+                "fallback_kernels": dict(be.fallback_kernels),
+                "wall_s_by_family": _wall_by_family(
+                    ctx.device.stats.per_kernel_wall_s),
             },
             "ir": ctx.stats.ir.as_json(),
             "summary": {

@@ -192,6 +192,13 @@ class Transpiler:
 
     def _lower(self, inst: Instruction) -> None:
         op = inst.opcode
+        if inst.guard is not None and op != "bra":
+            # the generators guard only forward branches; a guarded
+            # arithmetic/memory instruction would need per-instruction
+            # predication the structured IR does not model
+            raise TranspileError(
+                f"{self.p.name}: guarded {op!r} — only guarded forward "
+                f"branches are in the transpilable subset")
         if op == "label":
             name = inst.label.lstrip("$")
             self._emit(IRInst("label", None, None, (name,),
@@ -208,7 +215,7 @@ class Transpiler:
             cond = g
             if inst.guard_negated:
                 cond = self.namer.fresh("not")
-                self._emit(IRInst("xor", cond.lstrip("%"), PTXType.PRED,
+                self._emit(IRInst("not", cond, PTXType.PRED,
                                   (g,), text=f"{cond} = xor i1 {g}, true"))
             cont = self.namer.fresh("cont").lstrip("%")
             self._emit(IRInst("condbr", None, None, (cond, name, cont),

@@ -1,0 +1,255 @@
+"""Tests for the execution-backend registry and dispatch knob.
+
+The registry is the seam between the driver JIT (which always builds
+the ``sim`` reference translation) and alternative execution targets;
+the ``REPRO_BACKEND`` knob picks the callable per kernel, with
+graceful per-kernel fallback to ``sim`` for anything a backend cannot
+build.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.driver import backends
+from repro.driver.backends import (
+    Backend,
+    BackendBuildError,
+    BackendStats,
+    backend_names,
+    register_backend,
+    resolve_backend_mode,
+    unregister_backend,
+)
+from repro.driver.cache import KernelCache
+from repro.llvm import clear_code_cache, code_cache_stats
+
+_PTX = """
+.version 3.1
+.target sm_35
+.address_size 64
+
+.visible .entry scale_{n}(
+    .param .u64 .ptr .global p_dst,
+    .param .s32 p_n
+)
+{{
+    .reg .pred %p<1>;
+    .reg .s32 %r<2>;
+    .reg .u32 %u<4>;
+    .reg .u64 %ru<3>;
+    .reg .s64 %rd<2>;
+    .reg .f64 %fd<2>;
+
+    ld.param.s32 %r0, [p_n];
+    ld.param.u64 %ru0, [p_dst];
+    mov.u32 %u0, %ctaid.x;
+    mov.u32 %u1, %ntid.x;
+    mov.u32 %u2, %tid.x;
+    mad.lo.u32 %u3, %u0, %u1, %u2;
+    cvt.s32.u32 %r1, %u3;
+    setp.ge.s32 %p0, %r1, %r0;
+    @%p0 bra $EXIT;
+    cvt.s64.s32 %rd0, %r1;
+    mul.lo.s64 %rd1, %rd0, 8;
+    cvt.u64.s64 %ru1, %rd1;
+    add.u64 %ru2, %ru0, %ru1;
+    ld.global.f64 %fd0, [%ru2];
+    mul.f64 %fd1, %fd0, 2.0;
+    st.global.f64 [%ru2], %fd1;
+$EXIT:
+    ret;
+}}
+"""
+
+
+def _ptx(n=0):
+    return _PTX.format(n=n)
+
+
+@pytest.fixture()
+def knob(monkeypatch):
+    """Set REPRO_BACKEND for the test and reset warn-once state."""
+
+    def set_mode(value):
+        monkeypatch.setenv("REPRO_BACKEND", value)
+
+    from repro import diagnostics
+
+    monkeypatch.setattr(diagnostics, "_warned_backend_values", set())
+    monkeypatch.setattr(backends, "_warned_fallbacks", set())
+    return set_mode
+
+
+class TestKnob:
+    def test_default_is_sim(self, knob, monkeypatch):
+        monkeypatch.delenv("REPRO_BACKEND", raising=False)
+        assert resolve_backend_mode() == "sim"
+
+    def test_accepted_values(self, knob):
+        for value in ("sim", "cpu"):
+            knob(value)
+            assert resolve_backend_mode() == value
+
+    def test_bad_value_falls_back_with_one_warning(self, knob):
+        knob("gpu")
+        with pytest.warns(RuntimeWarning, match="REPRO_BACKEND"):
+            assert resolve_backend_mode() == "sim"
+        # warn once per distinct value, not per resolution
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert resolve_backend_mode() == "sim"
+
+    def test_registered_backend_extends_accepted_set(self, knob):
+        class Null(Backend):
+            name = "null"
+
+            def build(self, kernel):
+                return kernel.func
+
+        register_backend(Null())
+        try:
+            assert "null" in backend_names()
+            knob("null")
+            assert resolve_backend_mode() == "null"
+        finally:
+            unregister_backend("null")
+        knob("sim")
+        assert "null" not in backend_names()
+
+    def test_builtin_backends_cannot_be_removed(self):
+        with pytest.raises(ValueError):
+            unregister_backend("sim")
+        with pytest.raises(ValueError):
+            unregister_backend("cpu")
+
+
+class TestDispatch:
+    def test_sim_mode_runs_the_driver_translation(self, knob):
+        knob("sim")
+        cache = KernelCache()
+        kernel, _ = cache.get_or_compile(_ptx(1))
+        assert kernel.backend == "sim"
+        assert cache.backend.kernels.get("sim") == 1
+        assert "cpu" not in cache.backend.kernels
+
+    def test_cpu_mode_attaches_compiled_callable(self, knob):
+        knob("cpu")
+        cache = KernelCache()
+        kernel, _ = cache.get_or_compile(_ptx(2))
+        assert kernel.backend == "cpu"
+        assert "cpu" in kernel.backend_funcs
+        assert cache.backend.kernels.get("cpu") == 1
+        assert cache.backend.fallbacks == 0
+
+    def test_mid_process_knob_change_redispatches_on_hit(self, knob):
+        knob("sim")
+        cache = KernelCache()
+        kernel, _ = cache.get_or_compile(_ptx(3))
+        assert kernel.backend == "sim"
+        knob("cpu")
+        kernel2, cached = cache.get_or_compile(_ptx(3))
+        assert cached and kernel2 is kernel
+        assert kernel.backend == "cpu"
+
+    def test_launch_accounting(self, knob):
+        knob("cpu")
+        cache = KernelCache()
+        kernel, _ = cache.get_or_compile(_ptx(4))
+        views = {"float64": np.ones(8), "uint64": np.zeros(0, np.uint64)}
+        kernel(views, {"p_dst": 0, "p_n": 4}, 1, 4)
+        assert np.array_equal(views["float64"],
+                              [2, 2, 2, 2, 1, 1, 1, 1])
+        assert cache.backend.launches.get("cpu") == 1
+        assert cache.backend.launches.get("sim") is None
+
+    def test_build_failure_degrades_to_sim_with_one_warning(self, knob):
+        class Broken(Backend):
+            name = "broken"
+            calls = 0
+
+            def build(self, kernel):
+                Broken.calls += 1
+                raise BackendBuildError("unsupported construct: frobnicate")
+
+        register_backend(Broken())
+        try:
+            knob("broken")
+            cache = KernelCache()
+            with pytest.warns(RuntimeWarning, match="frobnicate"):
+                kernel, _ = cache.get_or_compile(_ptx(5))
+            assert kernel.backend == "sim"
+            assert cache.backend.fallbacks == 1
+            assert "frobnicate" in \
+                cache.backend.fallback_kernels[kernel.name]
+            # cache hit: no rebuild, no re-count, no second warning
+            with warnings.catch_warnings():
+                warnings.simplefilter("error")
+                cache.get_or_compile(_ptx(5))
+            assert Broken.calls == 1
+            assert cache.backend.fallbacks == 1
+        finally:
+            unregister_backend("broken")
+
+    def test_fallback_kernel_still_computes(self, knob):
+        class Picky(Backend):
+            name = "picky"
+
+            def build(self, kernel):
+                raise BackendBuildError("nope")
+
+        register_backend(Picky())
+        try:
+            knob("picky")
+            cache = KernelCache()
+            with pytest.warns(RuntimeWarning):
+                kernel, _ = cache.get_or_compile(_ptx(6))
+            views = {"float64": np.ones(8)}
+            kernel(views, {"p_dst": 0, "p_n": 8}, 1, 8)
+            assert np.array_equal(views["float64"], np.full(8, 2.0))
+        finally:
+            unregister_backend("picky")
+
+
+class TestCompiledKernelCache:
+    def test_keyed_on_ptx_text(self, knob):
+        knob("cpu")
+        clear_code_cache()
+        cache = KernelCache()
+        cache.get_or_compile(_ptx(7))
+        stats = code_cache_stats()
+        assert stats.misses == 1 and stats.hits == 0
+        assert stats.n_kernels == 1
+        # a second kernel cache (another context) reuses the compile
+        other = KernelCache()
+        other.get_or_compile(_ptx(7))
+        stats = code_cache_stats()
+        assert stats.misses == 1 and stats.hits == 1
+
+    def test_distinct_ptx_compiles_separately(self, knob):
+        knob("cpu")
+        clear_code_cache()
+        cache = KernelCache()
+        cache.get_or_compile(_ptx(8))
+        cache.get_or_compile(_ptx(9))
+        stats = code_cache_stats()
+        assert stats.misses == 2
+        assert stats.total_compile_seconds > 0
+
+    def test_compile_seconds_counted_per_backend(self, knob):
+        knob("cpu")
+        cache = KernelCache()
+        cache.get_or_compile(_ptx(10))
+        be = cache.backend
+        assert be.compile_seconds.get("sim", 0) > 0
+        assert be.compile_seconds.get("cpu", 0) > 0
+
+
+class TestBackendStats:
+    def test_note_launch(self):
+        stats = BackendStats()
+        stats.note_launch("cpu")
+        stats.note_launch("cpu")
+        stats.note_launch("sim")
+        assert stats.launches == {"cpu": 2, "sim": 1}

@@ -60,6 +60,12 @@ class TestCLI:
         assert "makespan" in out
         assert "critical path" in out
 
+    def test_reports_backend_dispatch(self, run):
+        _, out = run
+        assert "-- backends (REPRO_BACKEND=" in out
+        assert "kernel(s) built" in out
+        assert "measured kernel wall-clock" in out
+
     def test_dslash_stencil_findings_surface(self, run):
         _, out = run
         assert "shift-antiparallel" in out
@@ -81,7 +87,7 @@ class TestJSON:
     def test_exit_status_and_schema_version(self, run_json):
         status, report = run_json
         assert status == 0
-        assert report["schema_version"] == 5
+        assert report["schema_version"] == 6
         assert report["summary"]["status"] == "ok"
         assert report["summary"]["errors"] == 0
         assert report["summary"]["kernels"] == len(report["kernels"])
@@ -128,6 +134,21 @@ class TestJSON:
         assert faults["retries"] == 0
         assert faults["backoff_s"] == 0.0
         assert faults["solver_restarts"] == 0
+
+    def test_backend_block(self, run_json):
+        """The backend block reports the dispatch mode, per-backend
+        build/launch counters and measured wall-clock per family."""
+        _, report = run_json
+        be = report["backend"]
+        assert set(be) == {"mode", "kernels", "compile_seconds",
+                           "launches", "fallbacks", "fallback_kernels",
+                           "wall_s_by_family"}
+        assert be["mode"] in be["kernels"] or be["mode"] == "sim"
+        assert be["kernels"].get("sim", 0) > 0   # sim is always built
+        assert be["fallbacks"] == 0              # whole suite transpiles
+        assert be["fallback_kernels"] == {}
+        assert sum(be["launches"].values()) > 0
+        assert all(v >= 0 for v in be["wall_s_by_family"].values())
 
     def test_cache_block(self, run_json):
         _, report = run_json

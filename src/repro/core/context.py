@@ -131,19 +131,46 @@ class ModuleCache(dict):
 
 
 class Context:
-    """Framework state for one (simulated) GPU."""
+    """Framework state for one (simulated) GPU.
+
+    A context may *own* its device (the default: a fresh
+    :class:`Device` per context) or *share* one passed in via
+    ``device=`` — the multi-tenant serving layer
+    (:mod:`repro.serve`) creates one context per tenant over a single
+    shared device pool and stream runtime.  Likewise ``kernel_cache=``
+    injects a shared compiled-kernel cache so tenants reuse each
+    other's driver-JIT work; both default to private instances, so
+    single-context callers see no change.
+
+    Contexts also support *scoped activation*::
+
+        with ctx:
+            ...   # default_context() resolves to ctx in this block
+
+    which is how concurrent sessions avoid leaking state through the
+    lazily-created module-level default context: activation nests like
+    a stack and always restores the previous resolution on exit.
+    """
 
     def __init__(self, spec: DeviceSpec = K20X_ECC_OFF,
                  pool_capacity: int | None = None,
                  autotune: bool = True,
                  default_block_size: int = 128,
                  fusion: bool | None = None,
-                 faults=None):
+                 faults=None,
+                 device: Device | None = None,
+                 kernel_cache: KernelCache | None = None):
         from .fusion import FusionQueue
 
-        self.device = Device(spec, pool_capacity=pool_capacity,
-                             faults=faults)
-        self.kernel_cache = KernelCache()
+        if device is not None:
+            # a shared device: spec/pool_capacity/faults belong to its
+            # owner (the serving layer), not to this context
+            self.device = device
+        else:
+            self.device = Device(spec, pool_capacity=pool_capacity,
+                                 faults=faults)
+        self.kernel_cache = (kernel_cache if kernel_cache is not None
+                             else KernelCache())
         self.field_cache = FieldCache(self.device)
         self.autotuner = Autotuner(self.device) if autotune else None
         self.default_block_size = default_block_size
@@ -169,6 +196,21 @@ class Context:
     def flush(self) -> None:
         """Launch every pending (deferred) statement now."""
         self.fusion.flush()
+
+    # -- scoped activation ----------------------------------------------
+
+    def __enter__(self) -> "Context":
+        """Activate this context: :func:`default_context` resolves to
+        it until the matching exit.  Activations nest (a stack)."""
+        _active_stack.append(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if not _active_stack or _active_stack[-1] is not self:
+            raise RuntimeError(
+                "context activation stack out of order: exiting a "
+                "context that is not the innermost active one")
+        _active_stack.pop()
 
     # -- device-resident int32 tables -----------------------------------
 
@@ -200,6 +242,11 @@ class Context:
 
 _default_context: Context | None = None
 
+#: scoped-activation stack (``with ctx: ...``); the innermost active
+#: context shadows the module-level default so concurrent sessions
+#: never leak state through the lazily-created singleton
+_active_stack: list[Context] = []
+
 
 def qdp_init(spec: DeviceSpec = K20X_ECC_OFF, **kwargs) -> Context:
     """(Re)initialize the default global context, QDP++-style."""
@@ -209,7 +256,15 @@ def qdp_init(spec: DeviceSpec = K20X_ECC_OFF, **kwargs) -> Context:
 
 
 def default_context() -> Context:
-    """The default context, creating it on first use."""
+    """The context unqualified operations run against.
+
+    An explicitly activated context (``with ctx:`` — innermost wins)
+    takes precedence; otherwise the module-level default, created
+    lazily on first use.  Existing single-context callers never
+    activate anything and see the unchanged singleton behavior.
+    """
+    if _active_stack:
+        return _active_stack[-1]
     global _default_context
     if _default_context is None:
         _default_context = Context()

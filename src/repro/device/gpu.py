@@ -57,6 +57,13 @@ class DeviceStats:
     #: measured host wall-clock per kernel name (what the active
     #: execution backend actually cost, vs the modeled GPU time above)
     per_kernel_wall_s: dict = field(default_factory=dict)
+    #: optional per-tenant attribution hook (the serving layer's stats
+    #: splitter): called as ``attribution(kind, name, modeled_s,
+    #: wall_s, nbytes)`` after each accounted operation — kernel
+    #: launches (incl. ``per_kernel_wall_s`` updates), folds, copies
+    #: and JIT charges.  ``None`` (the default) costs bare-context
+    #: users one attribute check and changes no number.
+    attribution: object = field(default=None, repr=False, compare=False)
 
 
 class Device:
@@ -135,6 +142,8 @@ class Device:
         self.clock += t
         s = stream if stream is not None else self.runtime.h2d
         s.enqueue(name, t, "h2d", args={"bytes": host.nbytes})
+        if self.stats.attribution is not None:
+            self.stats.attribution("h2d", name, t, 0.0, host.nbytes)
         if self.faults.active:
             self.faults.guard_h2d(addr, host, name)
         return t
@@ -158,6 +167,8 @@ class Device:
         s = stream if stream is not None else self.runtime.d2h
         s.wait_event(self.runtime.compute.record_event())
         s.enqueue(name, t, "d2h", args={"bytes": nbytes})
+        if self.stats.attribution is not None:
+            self.stats.attribution("d2h", name, t, 0.0, nbytes)
         if self.faults.active:
             self.faults.guard_d2h(addr, out, name)
         return out
@@ -222,6 +233,9 @@ class Device:
         s.enqueue(kernel.name, cost.time_s, "kernel",
                   args={"bytes": cost.bytes_moved, "nsites": nsites,
                         "block": block_size})
+        if self.stats.attribution is not None:
+            self.stats.attribution("kernel", kernel.name, cost.time_s,
+                                   wall, cost.bytes_moved)
         if self.faults.active:
             self.faults.note_launch_success(kernel.name, block_size)
         return cost
@@ -249,6 +263,9 @@ class Device:
         self.clock += t
         s = stream if stream is not None else self.runtime.compute
         s.enqueue("reduce_f64", t, "fold", args={"count": count})
+        if self.stats.attribution is not None:
+            self.stats.attribution("fold", "reduce_f64", t, 0.0,
+                                   count * 8)
         return value
 
     def charge_jit(self, modeled_seconds: float) -> None:
@@ -260,6 +277,9 @@ class Device:
         self.stats.modeled_jit_time_s += modeled_seconds
         self.clock += modeled_seconds
         self.runtime.compute.enqueue("driver_jit", modeled_seconds, "jit")
+        if self.stats.attribution is not None:
+            self.stats.attribution("jit", "driver_jit", modeled_seconds,
+                                   0.0, 0)
 
     def charge_interface_transfer(self, modeled_seconds: float,
                                   name: str = "interface_xfer") -> None:

@@ -75,6 +75,7 @@ STREAM_MODES = ("on", "off")
 FAULT_MODES = ("off", "plan:<spec>")
 IR_MODES = ("off", "verify", "opt")
 BACKEND_MODES = ("sim", "cpu")
+SERVE_MODES = ("on", "off", "fifo", "fair")
 
 #: Bad ``REPRO_*`` values already warned about, keyed per knob (warn
 #: once per distinct value, not once per kernel build).  The knob-mode
@@ -86,6 +87,7 @@ _warned_stream_values: set[str] = set()
 _warned_fault_values: set[str] = set()
 _warned_ir_values: set[str] = set()
 _warned_backend_values: set[str] = set()
+_warned_serve_values: set[str] = set()
 
 
 def _env_mode(env_var: str, accepted: tuple[str, ...], default: str,
@@ -197,6 +199,34 @@ def backend_mode(default: str = "sim",
     """
     return _env_mode("REPRO_BACKEND", accepted, default,
                      _warned_backend_values)
+
+
+def serve_mode(default: str = "on") -> str:
+    """The multi-tenant serving policy from the ``REPRO_SERVE`` knob.
+
+    ``on`` (default)
+        Alias for ``fair``: a :class:`~repro.serve.Server` created
+        without an explicit policy schedules tenants with weighted
+        deficit round-robin and enforces admission control.
+    ``fair``
+        Weighted deficit round-robin over tenants (explicit spelling).
+    ``fifo``
+        Non-preemptive first-come-first-served: each session runs to
+        completion in submission order (the baseline the serving
+        benchmark compares against); admission control still applies.
+    ``off``
+        The serving layer is inert: sessions run to completion in
+        submission order with no interleaving and no admission
+        queueing — equivalent to running each workload back-to-back
+        on a bare context.
+
+    A single-tenant workload is bitwise identical (results, reduction
+    scalars, modeled clock, trace modulo tenant tags) under every
+    mode — the scheduler only decides *when* ready work runs, never
+    *what* it computes.
+    """
+    return _env_mode("REPRO_SERVE", SERVE_MODES, default,
+                     _warned_serve_values)
 
 
 def faults_mode(default: str = "off") -> str:

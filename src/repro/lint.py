@@ -28,10 +28,10 @@ Exit status:
 ``2``
     Usage error (bad command line), per argparse convention.
 
-JSON schema (``schema_version`` 6)::
+JSON schema (``schema_version`` 7)::
 
     {
-      "schema_version": 6,
+      "schema_version": 7,
       "lattice": [int, ...],
       "passes": [str, ...],            # PTX verifier pass names
       "ast_passes": [str, ...],        # expression-AST lint pass names
@@ -108,6 +108,23 @@ JSON schema (``schema_version`` 6)::
         "live_regs_before": int,       # liveness-based 32-bit slots
         "live_regs_after": int,
         "passes": {str: {str: int}}    # per-pass counters
+      },
+      "serving": {                     # multi-tenant layer (REPRO_SERVE)
+        "mode": "fair" | "fifo" | "off",
+        "scheduler": {"policy": str, "decisions": int,
+                      "quantum_s": float},
+        "admission": {"budget_bytes": int, "queued": int,
+                      "rejections": int},
+        "jit_cache": {                 # shared compiled-kernel cache
+          "kernels": int, "cross_tenant_hits": int,
+          "hits_by_tenant": {str: int}, "misses_by_tenant": {str: int}
+        },
+        "tenants": {str: {...}},       # TenantStats.as_json() + weight
+        "sessions": {                  # server-wide session accounting
+          "decisions": int, "admission_queued": int,
+          "admission_rejections": int, "sessions_submitted": int,
+          "sessions_completed": int, "idle_s": float
+        }
       },
       "summary": {
         "kernels": int, "diagnostics": int,
@@ -226,6 +243,26 @@ def _suite_modules(ctx, lat, precision: str = "f64"):
     return out
 
 
+def _serving_mini_run(dims: tuple[int, ...] = (2, 2, 2, 4)):
+    """A tiny two-tenant serving run under the current REPRO_SERVE
+    mode; returns the :class:`~repro.serve.Server` for its report.
+
+    Two tenants solve the same CG shape so the report demonstrates the
+    shared-JIT-cache economics (the second tenant's kernels are all
+    cross-tenant hits) alongside the scheduler and admission counters.
+    """
+    from .diagnostics import serve_mode
+    from .serve import Server, cg_diag_workload
+
+    srv = Server(policy=serve_mode())
+    a = srv.tenant("tenant-a", weight=2.0)
+    b = srv.tenant("tenant-b")
+    srv.submit(a, cg_diag_workload(dims=dims, seed=3, max_iter=8))
+    srv.submit(b, cg_diag_workload(dims=dims, seed=4, max_iter=8))
+    srv.drain()
+    return srv
+
+
 def _wall_by_family(per_kernel_wall_s: dict) -> dict:
     """Aggregate measured per-kernel wall-clock by kernel family.
 
@@ -318,7 +355,7 @@ def main(argv=None) -> int:
                         help="lattice extents (default 4,4,4,4)")
     parser.add_argument("--json", action="store_true",
                         help="emit the report as a JSON document "
-                             "(schema_version 6; see module docstring)")
+                             "(schema_version 7; see module docstring)")
     parser.add_argument("-v", "--verbose", action="store_true",
                         help="print every diagnostic, notes included")
     args = parser.parse_args(argv)
@@ -336,6 +373,7 @@ def main(argv=None) -> int:
         warnings.simplefilter("ignore", RuntimeWarning)
         ctx, lat, ast_findings = _build_kernel_suite(args.lattice)
         suite = _suite_modules(ctx, lat)
+        serving = _serving_mini_run()
 
     worst = Severity.NOTE
     n_diags = 0
@@ -433,6 +471,23 @@ def main(argv=None) -> int:
             wall = ", ".join(f"{k} {v * 1e3:.1f} ms"
                              for k, v in sorted(fam.items()))
             print(f"  measured kernel wall-clock: {wall}")
+        sj = serving.as_json()
+        print(f"\n-- serving (REPRO_SERVE={sj['mode']}) " + "-" * 26)
+        print(f"  scheduler {sj['scheduler']['policy']}: "
+              f"{sj['scheduler']['decisions']} decision(s), quantum "
+              f"{sj['scheduler']['quantum_s'] * 1e6:.0f} us; admission: "
+              f"{sj['admission']['queued']} queued, "
+              f"{sj['admission']['rejections']} rejection(s)")
+        print(f"  shared JIT cache: {sj['jit_cache']['kernels']} "
+              f"kernel(s), {sj['jit_cache']['cross_tenant_hits']} "
+              f"cross-tenant hit(s)")
+        for name, t in sorted(sj["tenants"].items()):
+            print(f"  {name} (weight {t['weight']:g}): "
+                  f"{t['sessions_completed']}/{t['sessions_submitted']} "
+                  f"session(s), {t['launches']} launch(es), service "
+                  f"{t['service_s'] * 1e6:.1f} us, jit "
+                  f"{t['jit_misses']} compile(s) + {t['jit_hits']} "
+                  f"hit(s) ({t['jit_shared_hits']} cross-tenant)")
         status = "FAIL" if failed else "ok"
         print(f"\nrepro.lint: {status}: {len(suite)} kernel(s) verified, "
               f"{n_diags} diagnostic(s), worst severity "
@@ -440,7 +495,7 @@ def main(argv=None) -> int:
     else:
         be = ctx.stats.backend
         report = {
-            "schema_version": 6,
+            "schema_version": 7,
             "lattice": list(args.lattice),
             "passes": list(PASSES),
             "ast_passes": list(LINT_PASSES),
@@ -482,6 +537,7 @@ def main(argv=None) -> int:
                     ctx.device.stats.per_kernel_wall_s),
             },
             "ir": ctx.stats.ir.as_json(),
+            "serving": serving.as_json(),
             "summary": {
                 "kernels": len(suite),
                 "diagnostics": n_diags,

@@ -1,0 +1,119 @@
+"""Canned chunked workloads for the serving layer.
+
+A serving workload is a *generator factory*: calling it with a tenant
+context returns a generator that performs one bounded chunk of work
+per ``next()`` (one solver iteration, one sweep) and returns its
+result via ``StopIteration``.  Yield points are where the scheduler
+may switch tenants; everything between two yields runs back-to-back
+on the shared device exactly as it would on a bare context, which is
+what makes the serving layer's bitwise-identity contract hold by
+construction.
+
+The workloads here mirror the repo's reference computations —
+:func:`cg_diag_workload` is the fused CG solve of
+:mod:`repro.qcd.solver` on ``A = diag(w)``, chunked one iteration per
+yield; :func:`shift_sweep_workload` is a nearest-neighbor stencil
+sweep (the dslash memory-access pattern without the spin algebra).
+Both are deterministic functions of their seed: two tenants given the
+same parameters produce byte-identical PTX (kernel text depends only
+on expression *structure*), which is exactly what the shared JIT
+cache deduplicates across tenants.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.expr import shift
+from ..core.reduction import innerProduct, norm2
+from ..qdp.fields import LatticeField, latt_fermion, latt_real
+from ..qdp.lattice import Lattice
+
+
+def cg_diag_workload(dims=(4, 4, 4, 4), seed: int = 17,
+                     tol: float = 1e-8, max_iter: int = 100):
+    """A chunked CG solve on ``A = diag(w)``: one iteration per yield.
+
+    Returns (via ``StopIteration``) a dict with the solution array,
+    iteration count and final relative residual — bitwise identical
+    to driving the same generator to completion on a bare context.
+    """
+
+    def workload(ctx):
+        lat = Lattice(dims)
+        rng = np.random.default_rng(seed)
+        w = latt_real(lat, context=ctx)
+        w.from_numpy(rng.uniform(0.5, 1.5, lat.nsites))
+        b = latt_fermion(lat, context=ctx)
+        b.gaussian(rng)
+        x = latt_fermion(lat, context=ctx)
+
+        def mk():
+            return LatticeField(lat, x.spec, context=ctx)
+
+        r, p, ap = mk(), mk(), mk()
+
+        def apply_op(dest, src):
+            dest.assign(w.ref() * src.ref())
+
+        b2 = norm2(b)
+        apply_op(ap, x)
+        r.assign(b - ap)
+        p.assign(r.ref())
+        rr = norm2(r)
+        rel = (rr / b2) ** 0.5
+        iterations = 0
+        yield                     # setup chunk
+        while rel > tol and iterations < max_iter:
+            iterations += 1
+            apply_op(ap, p)
+            pap = innerProduct(p, ap).real
+            alpha = rr / pap
+            x.assign(x + alpha * p)
+            r.assign(r - alpha * ap)
+            rr_new = norm2(r)
+            rel = (rr_new / b2) ** 0.5
+            if rel <= tol:
+                break
+            beta = rr_new / rr
+            p.assign(r + beta * p)
+            rr = rr_new
+            yield                 # one CG iteration per chunk
+        ctx.flush()
+        return {"x": x.to_numpy(), "iterations": iterations,
+                "residual": rel, "converged": rel <= tol}
+
+    return workload
+
+
+def shift_sweep_workload(dims=(4, 4, 4, 4), seed: int = 23,
+                         sweeps: int = 8):
+    """Chunked nearest-neighbor stencil sweeps: one sweep per yield.
+
+    Each sweep replaces the field with the average of its 2*Nd
+    neighbors (the dslash gather pattern); the result is the final
+    field plus its norm.  Deterministic in ``seed``.
+    """
+
+    def workload(ctx):
+        lat = Lattice(dims)
+        rng = np.random.default_rng(seed)
+        f = latt_fermion(lat, context=ctx)
+        f.gaussian(rng)
+        g = latt_fermion(lat, context=ctx)
+        nd = len(dims)
+        coeff = 1.0 / (2 * nd)
+        for _ in range(sweeps):
+            acc = coeff * shift(f.ref(), +1, 0)
+            for mu in range(nd):
+                if mu > 0:
+                    acc = acc + coeff * shift(f.ref(), +1, mu)
+                acc = acc + coeff * shift(f.ref(), -1, mu)
+            g.assign(acc)
+            f, g = g, f
+            yield                 # one sweep per chunk
+        final = norm2(f)
+        ctx.flush()
+        return {"f": f.to_numpy(), "norm2": final, "sweeps": sweeps}
+
+    return workload

@@ -1,0 +1,62 @@
+"""Scoped context activation: ``with ctx:`` shadows the singleton."""
+
+import pytest
+
+from repro.core import context as context_mod
+from repro.core.context import Context, default_context
+from repro.qdp.fields import latt_real
+from repro.qdp.lattice import Lattice
+
+
+def test_activation_shadows_the_default(fresh_ctx):
+    outer = Context()
+    assert default_context() is not outer
+    with outer:
+        assert default_context() is outer
+    assert default_context() is not outer
+
+
+def test_activation_nests_like_a_stack(fresh_ctx):
+    a, b = Context(), Context()
+    with a:
+        assert default_context() is a
+        with b:
+            assert default_context() is b
+        assert default_context() is a
+    assert not context_mod._active_stack
+
+
+def test_unqualified_field_creation_uses_the_active_context(fresh_ctx):
+    ctx = Context()
+    lat = Lattice((2, 2))
+    with ctx:
+        f = latt_real(lat)          # no explicit context
+    assert f.context is ctx
+
+
+def test_out_of_order_exit_raises(fresh_ctx):
+    a, b = Context(), Context()
+    a.__enter__()
+    b.__enter__()
+    with pytest.raises(RuntimeError, match="out of order"):
+        a.__exit__(None, None, None)
+    # clean up the intact stack
+    b.__exit__(None, None, None)
+    a.__exit__(None, None, None)
+    assert not context_mod._active_stack
+
+
+def test_exception_inside_block_still_restores(fresh_ctx):
+    ctx = Context()
+    with pytest.raises(ValueError):
+        with ctx:
+            raise ValueError("boom")
+    assert default_context() is not ctx
+    assert not context_mod._active_stack
+
+
+def test_singleton_untouched_by_activation(fresh_ctx):
+    base = default_context()        # lazily created singleton
+    with Context():
+        pass
+    assert default_context() is base

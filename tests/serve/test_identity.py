@@ -1,0 +1,127 @@
+"""The serving layer's bitwise-identity contract.
+
+A single-tenant session must be indistinguishable from the same
+workload on a bare context: identical results, identical reduction
+scalars, identical modeled device clock, and an identical span trace
+modulo the ``tenant`` tag the server stamps on each span.  The
+scheduler decides *when* chunks run, never *what* they compute — and
+with one tenant there is nothing to interleave with.
+"""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core.context import Context
+from repro.qdp import fields as fields_mod
+from repro.serve import Server, cg_diag_workload, shift_sweep_workload
+
+DIMS = (2, 2, 2, 4)
+
+
+def _pin_uids():
+    """Reset the global field-uid counter so span names (which embed
+    field uids) line up across two runs in one process."""
+    fields_mod._uid_counter = itertools.count(1)
+
+
+def _run_bare(workload):
+    _pin_uids()
+    ctx = Context()
+    gen = workload(ctx)
+    try:
+        while True:
+            next(gen)
+    except StopIteration as stop:
+        return ctx, stop.value
+
+
+def _run_served(workload, policy):
+    _pin_uids()
+    srv = Server(policy=policy)
+    tenant = srv.tenant("solo")
+    session = srv.submit(tenant, workload)
+    srv.drain()
+    assert session.state == "done"
+    return srv, session.result
+
+
+def _trace_signature(timeline, drop_tenant):
+    sig = []
+    for sp in timeline.spans:
+        args = {k: v for k, v in (sp.args or {}).items()
+                if not (drop_tenant and k == "tenant")}
+        sig.append((sp.lane, sp.name, sp.t0, sp.t1, tuple(sp.deps),
+                    tuple(sorted(args.items()))))
+    return sig
+
+
+@pytest.mark.parametrize("policy", ["fair", "fifo", "off"])
+def test_single_tenant_bitwise_identity_cg(policy):
+    workload = cg_diag_workload(dims=DIMS, seed=7, max_iter=30)
+    bare_ctx, bare = _run_bare(workload)
+    srv, served = _run_served(workload, policy)
+
+    assert np.array_equal(served["x"], bare["x"])
+    assert served["iterations"] == bare["iterations"]
+    assert served["residual"] == bare["residual"]
+    assert srv.device.clock == bare_ctx.device.clock
+    assert (_trace_signature(srv.device.runtime.timeline, True)
+            == _trace_signature(bare_ctx.device.runtime.timeline, False))
+
+
+def test_single_tenant_bitwise_identity_sweep():
+    workload = shift_sweep_workload(dims=DIMS, seed=11, sweeps=4)
+    bare_ctx, bare = _run_bare(workload)
+    srv, served = _run_served(workload, "fair")
+    assert np.array_equal(served["f"], bare["f"])
+    assert served["norm2"] == bare["norm2"]
+    assert srv.device.clock == bare_ctx.device.clock
+
+
+def test_every_span_carries_the_tenant_tag():
+    workload = cg_diag_workload(dims=DIMS, seed=7, max_iter=10)
+    srv, _ = _run_served(workload, "fair")
+    spans = srv.device.runtime.timeline.spans
+    assert spans
+    assert all(sp.args.get("tenant") == "solo" for sp in spans)
+
+
+def test_off_policy_runs_sessions_back_to_back():
+    """``off``: submission order, no interleaving, no admission."""
+    srv = Server(policy="off")
+    a = srv.tenant("a", weight=1.0)
+    b = srv.tenant("b", weight=100.0)   # weight must not matter
+    s1 = srv.submit(a, cg_diag_workload(dims=DIMS, seed=1, max_iter=10),
+                    mem_bytes=10**12)   # admission disabled: ignored
+    s2 = srv.submit(b, cg_diag_workload(dims=DIMS, seed=2, max_iter=10))
+    srv.drain()
+    assert s1.state == s2.state == "done"
+    # back-to-back: one scheduling decision per session
+    assert srv.stats.decisions == 2
+    assert s1.completed_s <= s2.started_s
+    assert srv.stats.admission_queued == 0
+
+
+def test_results_identical_across_policies():
+    """Interleaving never changes what a session computes."""
+    results = {}
+    for policy in ("fair", "fifo"):
+        _pin_uids()
+        srv = Server(policy=policy)
+        a = srv.tenant("a", weight=3.0)
+        b = srv.tenant("b")
+        sessions = [
+            srv.submit(a, cg_diag_workload(dims=DIMS, seed=1, max_iter=25)),
+            srv.submit(b, cg_diag_workload(dims=DIMS, seed=2, max_iter=25)),
+            srv.submit(b, shift_sweep_workload(dims=DIMS, seed=3, sweeps=3)),
+        ]
+        srv.drain()
+        results[policy] = [s.result for s in sessions]
+    for fair_res, fifo_res in zip(results["fair"], results["fifo"]):
+        for key, val in fair_res.items():
+            if isinstance(val, np.ndarray):
+                assert np.array_equal(val, fifo_res[key])
+            else:
+                assert val == fifo_res[key]

@@ -66,6 +66,14 @@ class TestCLI:
         assert "kernel(s) built" in out
         assert "measured kernel wall-clock" in out
 
+    def test_reports_serving_mini_run(self, run):
+        _, out = run
+        assert "-- serving (REPRO_SERVE=" in out
+        assert "shared JIT cache:" in out
+        assert "cross-tenant hit(s)" in out
+        assert "tenant-a (weight 2)" in out
+        assert "tenant-b (weight 1)" in out
+
     def test_dslash_stencil_findings_surface(self, run):
         _, out = run
         assert "shift-antiparallel" in out
@@ -87,7 +95,7 @@ class TestJSON:
     def test_exit_status_and_schema_version(self, run_json):
         status, report = run_json
         assert status == 0
-        assert report["schema_version"] == 6
+        assert report["schema_version"] == 7
         assert report["summary"]["status"] == "ok"
         assert report["summary"]["errors"] == 0
         assert report["summary"]["kernels"] == len(report["kernels"])
@@ -201,6 +209,34 @@ class TestJSON:
                  for k in report["kernels"]}
         assert any(s < 1024 for s in seeds.values()), seeds
         assert all(s >= 32 for s in seeds.values())
+
+    def test_serving_block(self, run_json):
+        """The serving mini-run: two tenants, both sessions complete,
+        and the second tenant's kernels all hit the shared cache."""
+        _, report = run_json
+        sv = report["serving"]
+        assert set(sv) == {"mode", "scheduler", "admission", "jit_cache",
+                           "tenants", "sessions"}
+        assert sv["mode"] in ("fair", "fifo", "off")
+        assert sv["scheduler"]["policy"] in ("fair", "fifo")
+        assert sv["scheduler"]["decisions"] >= 2
+        assert sv["scheduler"]["quantum_s"] > 0
+        assert sv["admission"]["rejections"] == 0
+        assert sv["jit_cache"]["kernels"] > 0
+        assert sv["jit_cache"]["cross_tenant_hits"] >= 1
+        assert set(sv["tenants"]) == {"tenant-a", "tenant-b"}
+        for t in sv["tenants"].values():
+            assert t["sessions_completed"] == t["sessions_submitted"] == 1
+            assert t["launches"] > 0
+            assert t["service_s"] > 0
+        assert sv["sessions"]["sessions_completed"] == 2
+        # isolation + conservation: per-tenant jit splits sum to the
+        # global cache counters
+        cache_total = (sum(sv["jit_cache"]["hits_by_tenant"].values())
+                       + sum(sv["jit_cache"]["misses_by_tenant"].values()))
+        tenant_total = sum(t["jit_hits"] + t["jit_misses"]
+                           for t in sv["tenants"].values())
+        assert cache_total == tenant_total
 
     def test_json_output_is_pure(self, ctx):
         """--json prints a single parseable document, nothing else."""

@@ -1,14 +1,21 @@
 """Virtual MPI: processor grids, halo exchange, comm/compute overlap."""
 
-from .grid import Decomposition, DecompositionError, ProcessorGrid
+from .grid import Decomposition, DecompositionError, ProcessorGrid, shrunken_grid
 from .netmodel import GEMINI, IB_QDR_CUDA_AWARE, IB_QDR_STAGED, NetworkModel
 from .overlap import DistributedWilsonDslash, DslashTiming
-from .vm import DistributedField, ExchangeResult, VirtualMachine
+from .vm import (
+    DistributedField,
+    ExchangeResult,
+    HaloMismatchError,
+    VirtualMachine,
+)
 
 __all__ = [
     "Decomposition",
     "DecompositionError",
     "DistributedField",
+    "HaloMismatchError",
+    "shrunken_grid",
     "DistributedWilsonDslash",
     "DslashTiming",
     "ExchangeResult",

@@ -90,6 +90,14 @@ class DistributedWilsonDslash:
         self.tb = [vm.field(fspec, f"tb{mu}") for mu in range(nd)]
         self._boundary: Subset | None = None
         self._interior: Subset | None = None
+        if vm.resilience is not None:
+            # a shrink changes the local geometry under our feet: the
+            # cached inner/face partition must be recomputed
+            vm.resilience.on_shrink(self._invalidate_partition)
+
+    def _invalidate_partition(self, vm) -> None:
+        self._interior = None
+        self._boundary = None
 
     # -- site partition (inner vs face, paper Sec. V) -------------------
 

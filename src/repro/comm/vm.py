@@ -44,6 +44,40 @@ from .grid import Decomposition, ProcessorGrid
 from .netmodel import IB_QDR_CUDA_AWARE, NetworkModel
 
 
+class HaloMismatchError(RuntimeError):
+    """A halo operation was handed state that does not fit the
+    machine.
+
+    Raised by :meth:`VirtualMachine.exchange`/:meth:`scatter_halo`
+    when a field belongs to a different VM or an
+    :class:`ExchangeResult` no longer matches the machine's geometry
+    (e.g. it predates a shrink-and-redistribute recovery).  Carries
+    the offending (rank, mu, sign) and renders as a structured
+    diagnostic, like the cache's ``NoValidCopyError``.
+    """
+
+    def __init__(self, op: str, reason: str, mu: int, sign: int,
+                 rank: int | None = None):
+        self.op = op
+        self.reason = reason
+        self.mu = mu
+        self.sign = sign
+        self.rank = rank
+        where = f" on rank {rank}" if rank is not None else ""
+        super().__init__(
+            f"{op}: {reason} (mu={mu}, sign={sign:+d}{where})")
+
+    @property
+    def diagnostic(self):
+        from ..diagnostics import Diagnostic, Severity
+
+        where = (f"rank {self.rank}, " if self.rank is not None
+                 else "") + f"mu={self.mu}, sign={self.sign:+d}"
+        return Diagnostic(
+            severity=Severity.ERROR, pass_name="halo-exchange",
+            message=self.reason, obj=self.op, location=where)
+
+
 class DistributedField:
     """A lattice field split over the VM's ranks (one shard each)."""
 
@@ -52,9 +86,18 @@ class DistributedField:
         self.vm = vm
         self.spec = spec
         self.name = name or "dfield"
-        self.shards = [LatticeField(vm.local_lattice, spec,
+        self._reshard()
+        if vm.resilience is not None:
+            vm.resilience.register(self)
+
+    def _reshard(self) -> None:
+        """(Re)build the per-rank shards for the VM's current grid —
+        called at construction and after a shrink rebuilt the rank
+        map (the old shards' contexts are gone)."""
+        vm = self.vm
+        self.shards = [LatticeField(vm.local_lattice, self.spec,
                                     context=vm.contexts[r],
-                                    name=f"{name or 'dfield'}@r{r}")
+                                    name=f"{self.name}@r{r}")
                        for r in range(vm.nranks)]
 
     def from_global(self, arr: np.ndarray) -> None:
@@ -100,7 +143,9 @@ class VirtualMachine:
                  pool_capacity: int | None = None,
                  autotune: bool = True,
                  streams: bool | None = None,
-                 faults=None):
+                 faults=None,
+                 resilience=None,
+                 recover_policy: str = "buddy"):
         from ..faults.inject import FaultInjector
         from ..faults.plan import active_plan
 
@@ -120,9 +165,10 @@ class VirtualMachine:
             plan = None
         else:
             plan = faults
-        self.contexts = [Context(spec, pool_capacity=pool_capacity,
-                                 autotune=autotune,
-                                 faults=plan if plan is not None else False)
+        self._plan = plan
+        self._ctx_args = dict(spec=spec, pool_capacity=pool_capacity,
+                              autotune=autotune)
+        self.contexts = [self._make_rank_context()
                          for _ in range(self.nranks)]
         #: halo-layer fault injector (drop/corrupt/timeout recovery);
         #: shares the rank devices' plan
@@ -137,8 +183,53 @@ class VirtualMachine:
         self.timeline = self.runtime.timeline
         # persistent per-(rank, mu, sign) send/recv buffers
         self._buffers: dict[tuple, tuple[int, int]] = {}
+        #: rank fault tolerance (``resilience=None`` consults the
+        #: REPRO_RESILIENCE knob; ``False``/``"off"`` disables, a mode
+        #: string overrides).  ``None`` manager = the off path, which
+        #: is bitwise invisible: no hooks run, no state is kept.
+        if resilience is None:
+            from ..diagnostics import resilience_mode
+
+            mode = resilience_mode()
+        elif resilience is False:
+            mode = "off"
+        else:
+            mode = resilience
+        if mode == "off":
+            self.resilience = None
+        else:
+            from ..resilience import ResilienceManager
+
+            self.resilience = ResilienceManager(self, mode=mode,
+                                                policy=recover_policy)
 
     # -- construction helpers -------------------------------------------
+
+    def _make_rank_context(self) -> Context:
+        """A fresh rank context (also the spare a buddy restore
+        targets), sharing the machine-wide fault plan."""
+        plan = self._plan
+        return Context(self._ctx_args["spec"],
+                       pool_capacity=self._ctx_args["pool_capacity"],
+                       autotune=self._ctx_args["autotune"],
+                       faults=plan if plan is not None else False)
+
+    def _rebuild(self, grid: ProcessorGrid) -> None:
+        """Re-host the machine on ``grid`` (shrink recovery): fresh
+        decomposition, contexts and face kernels; the old comm
+        buffers die with the old device pools.  Field payloads are
+        the resilience manager's job — it re-partitions every
+        registered field right after this."""
+        self.decomp = Decomposition(self.decomp.global_dims, grid)
+        self.grid = grid
+        self.nranks = grid.size
+        self.local_lattice = self.decomp.local_lattice()
+        self.contexts = [self._make_rank_context()
+                         for _ in range(self.nranks)]
+        self.face_kernels = [FaceKernels(c.kernel_cache,
+                                         ir_stats=c.stats.ir)
+                             for c in self.contexts]
+        self._buffers.clear()
 
     def field(self, spec: TypeSpec, name: str | None = None
               ) -> DistributedField:
@@ -245,6 +336,16 @@ class VirtualMachine:
         send instead — the sequential schedule, where nothing hides
         behind the wire time.
         """
+        if src.vm is not self:
+            raise HaloMismatchError(
+                "exchange", f"field {src.name!r} belongs to a "
+                f"different virtual machine", mu, sign)
+        tag = f"{mu}{'+' if sign > 0 else '-'}:{src.name}"
+        if self.resilience is not None:
+            # the exchange barrier: checkpoint cut, straggler sweep,
+            # rank-kill draw (+ recovery) — may rebuild the machine,
+            # so the local geometry is read *after* the hook
+            self.resilience.at_exchange(src, tag)
         local = self.local_lattice
         spec = src.spec
         send_sites = local.face_sites(mu, -sign)   # the plane we send
@@ -282,7 +383,6 @@ class VirtualMachine:
         # receives r's plane?  For a forward shift, rank r's lower
         # plane goes to rank r - mu_hat.
         recv_addrs = [0] * self.nranks
-        tag = f"{mu}{'+' if sign > 0 else '-'}:{src.name}"
         penalties = []
         halo_faults = self.faults.active
         for r in range(self.nranks):
@@ -328,6 +428,19 @@ class VirtualMachine:
         """
         local = self.local_lattice
         spec = dest.spec
+        if dest.vm is not self:
+            raise HaloMismatchError(
+                "scatter_halo", f"field {dest.name!r} belongs to a "
+                f"different virtual machine", ex.mu, ex.sign)
+        if (len(ex.recv_addrs) != self.nranks
+                or ex.nface != local.face_sites(ex.mu, ex.sign).size):
+            raise HaloMismatchError(
+                "scatter_halo", f"stale exchange result: expected "
+                f"{self.nranks} ranks x "
+                f"{local.face_sites(ex.mu, ex.sign).size} face sites, "
+                f"got {len(ex.recv_addrs)} x {ex.nface} (did the "
+                f"machine shrink since the exchange?)",
+                ex.mu, ex.sign)
         worst = 0.0
         for r in range(self.nranks):
             ctx = self.contexts[r]
@@ -343,7 +456,13 @@ class VirtualMachine:
                 "p_sites": ctx.upload_table(
                     ("face", local.dims, ex.mu, ex.sign), ex.recv_sites),
                 "p_dst": addrs[dest.shards[r].uid],
-                "p_src": ex.recv_addrs[r],
+                # under resilience the recv buffer may have moved (a
+                # buddy restore re-homes the dead rank's pool): the
+                # buffer table, not the captured address, is current
+                "p_src": (self._buffer(r, "recv", ex.mu, ex.sign,
+                                       ex.nbytes)
+                          if self.resilience is not None
+                          else ex.recv_addrs[r]),
             }
             cost = ctx.device.launch(compiled, module.info, params, ex.nface,
                                      block_size=128, precision=spec.precision)

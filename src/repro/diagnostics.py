@@ -76,6 +76,7 @@ FAULT_MODES = ("off", "plan:<spec>")
 IR_MODES = ("off", "verify", "opt")
 BACKEND_MODES = ("sim", "cpu")
 SERVE_MODES = ("on", "off", "fifo", "fair")
+RESILIENCE_MODES = ("off", "detect", "recover")
 
 #: Bad ``REPRO_*`` values already warned about, keyed per knob (warn
 #: once per distinct value, not once per kernel build).  The knob-mode
@@ -88,6 +89,7 @@ _warned_fault_values: set[str] = set()
 _warned_ir_values: set[str] = set()
 _warned_backend_values: set[str] = set()
 _warned_serve_values: set[str] = set()
+_warned_resilience_values: set[str] = set()
 
 
 def _env_mode(env_var: str, accepted: tuple[str, ...], default: str,
@@ -227,6 +229,29 @@ def serve_mode(default: str = "on") -> str:
     """
     return _env_mode("REPRO_SERVE", SERVE_MODES, default,
                      _warned_serve_values)
+
+
+def resilience_mode(default: str = "off") -> str:
+    """The rank fault-tolerance mode from ``REPRO_RESILIENCE``.
+
+    ``off`` (default)
+        No rank-level resilience: the comm VM neither checkpoints nor
+        monitors ranks, bitwise identical (results, span traces,
+        module objects) to a build without the layer.
+    ``detect``
+        Detection only: an injected rank kill surfaces as a typed
+        :class:`~repro.resilience.RankFailureError` at the exchange
+        barrier where its halo fails to arrive, and stragglers are
+        flagged on the timeline — but nothing is repaired.
+    ``recover``
+        Detection plus recovery: the VM refreshes buddy checkpoints of
+        every distributed field at each exchange barrier and repairs a
+        dead rank with the configured policy (buddy restore onto a
+        spare rank, or shrink-and-redistribute), charging honest
+        modeled transfer + backoff cost on the ``fault`` lane.
+    """
+    return _env_mode("REPRO_RESILIENCE", RESILIENCE_MODES, default,
+                     _warned_resilience_values)
 
 
 def faults_mode(default: str = "off") -> str:

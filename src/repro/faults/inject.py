@@ -117,6 +117,25 @@ class FaultInjector:
         fault.enqueue(name, seconds, "backoff")
         target.wait_event(fault.record_event())
 
+    def charge_recovery(self, runtime: StreamRuntime, name: str,
+                        seconds: float, cat: str = "restore",
+                        stream: Stream | None = None) -> float:
+        """Charge one rank-recovery step (restore transfer,
+        redistribution, absorbed straggler stall) as modeled time.
+
+        Like :meth:`charge_backoff` the span lands on the ``fault``
+        lane fenced both ways against ``stream`` (default: compute) —
+        a collective exchange cannot proceed until the recovery
+        completes, and the recovery starts after the queued work.
+        Returns ``seconds`` so callers can accumulate the cost.
+        """
+        target = stream if stream is not None else runtime.compute
+        fault = self._fault_stream(runtime)
+        fault.wait_event(target.record_event())
+        fault.enqueue(name, seconds, cat)
+        target.wait_event(fault.record_event())
+        return seconds
+
     # -- Device.launch: sticky + transient failures --------------------
 
     def _sticky_spec(self, name: str) -> FaultSpec | None:

@@ -34,6 +34,14 @@ Injection sites (the chokepoints the specs name):
     Corruption of the CG iterate, detected by the periodic
     true-residual recomputation (the reliable-update defect guard)
     and repaired by restarting from the last good point.
+``rank.kill`` / ``rank.straggler``
+    Whole-rank loss (or a hung, slow rank) in the comm VM, drawn per
+    rank at each exchange barrier with targets ``rank<r>:<tag>`` so a
+    glob can pin the victim and the exchange.  Detection is
+    heartbeat-by-construction — a dead rank's halo never arrives —
+    and recovery (``REPRO_RESILIENCE=recover``) restores the rank
+    from its buddy checkpoint or shrinks the processor grid
+    (:mod:`repro.resilience`).
 
 Spec grammar (``REPRO_FAULTS=plan:<spec>`` or :func:`parse_plan`)::
 
@@ -72,6 +80,9 @@ SITES = {
     "halo.timeout": ("halo", "timeout"),
     "solver": ("solver", "corrupt"),
     "solver.corrupt": ("solver", "corrupt"),
+    "rank": ("rank", "kill"),
+    "rank.kill": ("rank", "kill"),
+    "rank.straggler": ("rank", "straggler"),
 }
 
 
@@ -102,6 +113,11 @@ class RecoveryPolicy:
     solver_defect_factor: float = 4.0
     #: bounded CG restarts before the defect is surfaced
     solver_max_restarts: int = 5
+    #: modeled stall a straggling rank adds to its device clock
+    straggler_hang_s: float = 500e-6
+    #: flag ranks whose modeled clock exceeds this multiple of the
+    #: median across ranks (the straggler detector's threshold)
+    straggler_threshold: float = 4.0
 
     def backoff_s(self, attempt: int) -> float:
         return self.backoff_base_s * self.backoff_factor ** attempt

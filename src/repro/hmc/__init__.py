@@ -5,7 +5,14 @@ program built entirely on the QDP-JIT expression pipeline (paper
 Sec. VIII-D).
 """
 
-from .checkpoint import CheckpointError, ConfigHeader, load_config, save_config
+from .checkpoint import (
+    CheckpointError,
+    CheckpointManager,
+    ConfigHeader,
+    TrajectorySnapshotStore,
+    load_config,
+    save_config,
+)
 from .forces import (
     dslash_outer_force,
     gaussian_momenta,
@@ -34,7 +41,9 @@ from .rational import (
 
 __all__ = [
     "CheckpointError",
+    "CheckpointManager",
     "ConfigHeader",
+    "TrajectorySnapshotStore",
     "GaugeMonomial",
     "load_config",
     "save_config",

@@ -99,6 +99,122 @@ def save_config(path, u: multi1d, trajectory: int = 0) -> ConfigHeader:
     return header
 
 
+class CheckpointManager:
+    """Keep-last-N on-disk retention over :func:`save_config`.
+
+    A production stream checkpoints every few trajectories and prunes
+    old files; on restart it must tolerate a torn final write (the
+    job died mid-save before the atomic rename, or the filesystem
+    corrupted a block) by falling back to the newest *loadable*
+    configuration instead of dying on the first bad one.
+    """
+
+    def __init__(self, directory, prefix: str = "cfg", keep: int = 3):
+        if keep < 1:
+            raise ValueError(f"keep must be >= 1, got {keep}")
+        self.directory = Path(directory)
+        self.prefix = prefix
+        self.keep = keep
+
+    def _path(self, trajectory: int) -> Path:
+        return self.directory / f"{self.prefix}_{trajectory:06d}.npz"
+
+    def paths(self) -> list[Path]:
+        """Managed checkpoint files, oldest first."""
+        return sorted(self.directory.glob(f"{self.prefix}_*.npz"))
+
+    def save(self, u: multi1d, trajectory: int) -> ConfigHeader:
+        """Checkpoint ``u`` and prune beyond the newest ``keep``."""
+        header = save_config(self._path(trajectory), u, trajectory)
+        existing = self.paths()
+        for stale in existing[:max(0, len(existing) - self.keep)]:
+            stale.unlink()
+        return header
+
+    def load_latest(self, context=None, precision: str = "f64"
+                    ) -> tuple[multi1d, ConfigHeader, list[Path]]:
+        """The newest loadable configuration.
+
+        Tries newest-first; files that fail to load (truncated,
+        checksum or plaquette mismatch) are *skipped and reported* —
+        returned as the third element and announced with a warning —
+        rather than aborting the restart.  Raises
+        :class:`CheckpointError` only when nothing loads.
+        """
+        import warnings
+
+        skipped: list[Path] = []
+        for path in reversed(self.paths()):
+            try:
+                u, header = load_config(path, context=context,
+                                        precision=precision)
+            except CheckpointError as e:
+                skipped.append(path)
+                warnings.warn(f"skipping corrupt checkpoint: {e}",
+                              RuntimeWarning, stacklevel=2)
+                continue
+            return u, header, skipped
+        raise CheckpointError(
+            f"no loadable checkpoint under {self.directory} "
+            f"(prefix {self.prefix!r}; {len(skipped)} corrupt)")
+
+
+class TrajectorySnapshotStore:
+    """In-memory keep-last-N snapshots of a running HMC stream.
+
+    The resilience layer's HMC leg: a rank kill mid-trajectory loses
+    the in-flight update, so a resilient campaign snapshots
+    ``(links, rng state)`` after each trajectory and replays from the
+    newest CRC32-validated snapshot (:mod:`repro.resilience.campaign`).
+    Restores are exact — links bytes and generator state — so the
+    replayed stream is bitwise identical to an uninterrupted one.
+    """
+
+    def __init__(self, keep: int = 2):
+        if keep < 1:
+            raise ValueError(f"keep must be >= 1, got {keep}")
+        self.keep = keep
+        #: (trajectory, [per-mu links], rng state dict, crc)
+        self._snapshots: list[tuple] = []
+
+    def __len__(self) -> int:
+        return len(self._snapshots)
+
+    def snapshot(self, u: multi1d, rng: np.random.Generator,
+                 trajectory: int) -> None:
+        links = [umu.to_numpy() for umu in u]
+        crc = zlib.crc32(b"".join(
+            np.ascontiguousarray(a).tobytes() for a in links))
+        import copy
+
+        state = copy.deepcopy(rng.bit_generator.state)
+        self._snapshots.append((int(trajectory), links, state, crc))
+        del self._snapshots[:-self.keep]
+
+    @property
+    def latest_trajectory(self) -> int | None:
+        return self._snapshots[-1][0] if self._snapshots else None
+
+    def restore(self, u: multi1d, rng: np.random.Generator) -> int:
+        """Write the newest snapshot back into ``u`` and ``rng``;
+        returns its trajectory number."""
+        import copy
+
+        if not self._snapshots:
+            raise CheckpointError("no trajectory snapshot to restore")
+        trajectory, links, state, crc = self._snapshots[-1]
+        got = zlib.crc32(b"".join(
+            np.ascontiguousarray(a).tobytes() for a in links))
+        if got != crc:
+            raise CheckpointError(
+                f"trajectory {trajectory} snapshot failed CRC32 "
+                f"validation")
+        for umu, arr in zip(u, links):
+            umu.from_numpy(arr)
+        rng.bit_generator.state = copy.deepcopy(state)
+        return trajectory
+
+
 def load_config(path, context=None, precision: str = "f64",
                 validate: bool = True) -> tuple[multi1d, ConfigHeader]:
     """Read a configuration; validates checksum and plaquette."""

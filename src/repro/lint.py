@@ -28,10 +28,10 @@ Exit status:
 ``2``
     Usage error (bad command line), per argparse convention.
 
-JSON schema (``schema_version`` 7)::
+JSON schema (``schema_version`` 8)::
 
     {
-      "schema_version": 7,
+      "schema_version": 8,
       "lattice": [int, ...],
       "passes": [str, ...],            # PTX verifier pass names
       "ast_passes": [str, ...],        # expression-AST lint pass names
@@ -125,6 +125,19 @@ JSON schema (``schema_version`` 7)::
           "admission_rejections": int, "sessions_submitted": int,
           "sessions_completed": int, "idle_s": float
         }
+      },
+      "resilience": {                  # rank fault tolerance
+        "mode": "off" | "detect" | "recover",  # REPRO_RESILIENCE
+        "policy": "buddy" | "shrink" | null,   # null when mode is off
+        "kills_injected": int,         # fired rank.kill faults
+        "stragglers_injected": int,    # fired rank.straggler faults
+        "stragglers_flagged": int,     # ranks the detector flagged
+        "detections": int,             # dead ranks detected
+        "recoveries_by_policy": {str: int},
+        "recovery_modeled_s": float,   # fault-lane seconds charged
+        "checkpoints": int,            # buddy checkpoint refreshes
+        "checkpoint_bytes": int,
+        "restored_payloads": int       # payloads re-materialized
       },
       "summary": {
         "kernels": int, "diagnostics": int,
@@ -263,6 +276,41 @@ def _serving_mini_run(dims: tuple[int, ...] = (2, 2, 2, 4)):
     return srv
 
 
+def _resilience_mini_run(global_dims=(2, 2, 2, 4),
+                         grid_dims=(1, 1, 1, 2)) -> dict:
+    """A tiny two-rank VM run under the current ``REPRO_RESILIENCE``
+    mode; returns the resilience JSON block (zeros when off).
+
+    One boundary-crossing shift per dimension drives the exchange
+    barrier — where buddy checkpoints refresh and rank faults are
+    drawn — so a ``REPRO_RESILIENCE=recover`` run with a
+    ``REPRO_FAULTS`` plan carrying ``rank.kill`` specs surfaces its
+    kill/recovery counters here.
+    """
+    import numpy as np
+
+    from .comm import VirtualMachine
+    from .diagnostics import resilience_mode
+    from .qdp.typesys import fermion
+    from .resilience import ResilienceStats
+
+    vm = VirtualMachine(global_dims, grid_dims)
+    g = vm.global_lattice
+    rng = np.random.default_rng(11)
+    data = (rng.normal(size=(g.nsites,) + (4, 3))
+            + 1j * rng.normal(size=(g.nsites,) + (4, 3)))
+    f = vm.field(fermion(), "psi")
+    f.from_global(data)
+    d = vm.field(fermion(), "chi")
+    for mu in range(len(global_dims)):
+        vm.shift_into(d, f, mu, +1)
+        f, d = d, f
+    if vm.resilience is not None:
+        return vm.resilience.as_json()
+    return {"mode": resilience_mode(), "policy": None,
+            **ResilienceStats().as_json()}
+
+
 def _wall_by_family(per_kernel_wall_s: dict) -> dict:
     """Aggregate measured per-kernel wall-clock by kernel family.
 
@@ -355,7 +403,7 @@ def main(argv=None) -> int:
                         help="lattice extents (default 4,4,4,4)")
     parser.add_argument("--json", action="store_true",
                         help="emit the report as a JSON document "
-                             "(schema_version 7; see module docstring)")
+                             "(schema_version 8; see module docstring)")
     parser.add_argument("-v", "--verbose", action="store_true",
                         help="print every diagnostic, notes included")
     args = parser.parse_args(argv)
@@ -374,6 +422,7 @@ def main(argv=None) -> int:
         ctx, lat, ast_findings = _build_kernel_suite(args.lattice)
         suite = _suite_modules(ctx, lat)
         serving = _serving_mini_run()
+        resilience = _resilience_mini_run()
 
     worst = Severity.NOTE
     n_diags = 0
@@ -488,6 +537,21 @@ def main(argv=None) -> int:
                   f"{t['service_s'] * 1e6:.1f} us, jit "
                   f"{t['jit_misses']} compile(s) + {t['jit_hits']} "
                   f"hit(s) ({t['jit_shared_hits']} cross-tenant)")
+        rz = resilience
+        print(f"\n-- resilience (REPRO_RESILIENCE={rz['mode']}) "
+              + "-" * 20)
+        print(f"  policy {rz['policy'] or '-'}: {rz['kills_injected']} "
+              f"kill(s), {rz['stragglers_flagged']}/"
+              f"{rz['stragglers_injected']} straggler(s) flagged, "
+              f"{rz['detections']} detection(s)")
+        recov = ", ".join(
+            f"{k} x{v}" for k, v in
+            sorted(rz["recoveries_by_policy"].items())) or "none"
+        print(f"  recoveries: {recov}; modeled cost "
+              f"{rz['recovery_modeled_s'] * 1e6:.1f} us; "
+              f"{rz['checkpoints']} checkpoint(s) "
+              f"({rz['checkpoint_bytes']} bytes), "
+              f"{rz['restored_payloads']} payload(s) restored")
         status = "FAIL" if failed else "ok"
         print(f"\nrepro.lint: {status}: {len(suite)} kernel(s) verified, "
               f"{n_diags} diagnostic(s), worst severity "
@@ -495,7 +559,7 @@ def main(argv=None) -> int:
     else:
         be = ctx.stats.backend
         report = {
-            "schema_version": 7,
+            "schema_version": 8,
             "lattice": list(args.lattice),
             "passes": list(PASSES),
             "ast_passes": list(LINT_PASSES),
@@ -538,6 +602,7 @@ def main(argv=None) -> int:
             },
             "ir": ctx.stats.ir.as_json(),
             "serving": serving.as_json(),
+            "resilience": resilience,
             "summary": {
                 "kernels": len(suite),
                 "diagnostics": n_diags,

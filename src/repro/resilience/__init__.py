@@ -1,0 +1,52 @@
+"""Rank-level fault tolerance for the comm virtual machine.
+
+The intra-device fault layer (:mod:`repro.faults`) recovers from
+transient faults *inside* one rank; at Titan/Blue Waters scale the
+dominant failure mode is losing the whole rank.  This package gives
+the VM a first-class answer, governed by
+``REPRO_RESILIENCE=off|detect|recover``:
+
+detection
+    Heartbeat by construction — a killed rank's halo never arrives at
+    the next exchange barrier, which is exactly where the
+    :class:`ResilienceManager` draws the seeded ``rank`` fault site —
+    plus a straggler detector that flags ranks whose modeled device
+    clock exceeds a configurable multiple of the median.
+
+recovery (two deterministic policies)
+    *Buddy checkpointing*: every exchange barrier refreshes an
+    in-memory, CRC32-guarded copy of each rank's
+    ``DistributedField`` payloads (held for its +1 neighbor); a dead
+    rank is rebuilt on a spare context from its buddy's copy, with
+    honest modeled transfer + backoff charged as ``lane="fault"``
+    spans.  Results are bitwise identical to the fault-free run.
+    *Shrink-and-redistribute*: the processor grid is rebuilt without
+    the dead rank (:func:`repro.comm.grid.shrunken_grid`), every
+    field re-partitioned from the checkpointed global state, and the
+    exchange replayed.  The rank map changes, so reductions reorder —
+    shrink runs assert plaquette/residual equality, not bitwise.
+
+The whole schedule is a pure function of ``(seed, workload)``:
+same-seed replays produce identical
+:meth:`~repro.faults.plan.FaultPlan.trace_signature` strings, and
+``off`` is bitwise invisible (no checkpoints, no spans, no monitor).
+"""
+
+from .campaign import CampaignResult, run_campaign
+from .manager import (
+    BuddyRestoreError,
+    RankFailureError,
+    ResilienceManager,
+    ResilienceStats,
+)
+from .monitor import detect_stragglers
+
+__all__ = [
+    "BuddyRestoreError",
+    "CampaignResult",
+    "run_campaign",
+    "RankFailureError",
+    "ResilienceManager",
+    "ResilienceStats",
+    "detect_stragglers",
+]

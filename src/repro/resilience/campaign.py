@@ -1,0 +1,81 @@
+"""Resilient HMC campaigns: trajectory snapshots feeding recovery.
+
+Long gauge-generation streams (paper Sec. VIII-D; arXiv:1212.0785)
+lose whole nodes mid-trajectory.  The recovery unit there is not the
+halo exchange but the *trajectory*: work since the last completed
+trajectory is gone, and the stream replays it from an in-memory
+snapshot.  :func:`run_campaign` drives that loop deterministically —
+the seeded ``rank.kill`` site decides which trajectories die (targets
+``traj<n>``, so a glob can pin the victim), the
+:class:`~repro.hmc.checkpoint.TrajectorySnapshotStore` restores links
+and RNG state exactly, and the replayed stream is bitwise identical
+to an uninterrupted one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..hmc.checkpoint import TrajectorySnapshotStore
+
+
+@dataclass
+class CampaignResult:
+    """Outcome of one resilient HMC campaign."""
+
+    trajectories: int
+    kills: int
+    replays: int
+    lost_work_s: float
+    results: list = field(default_factory=list)
+
+
+def run_campaign(hmc, n_trajectories: int, tau: float,
+                 plan=None, store: TrajectorySnapshotStore | None = None,
+                 snapshot_keep: int = 2) -> CampaignResult:
+    """Run ``n_trajectories`` of ``hmc``, surviving injected kills.
+
+    Each completed trajectory is snapshotted (links + RNG state).  A
+    kill drawn for trajectory ``n`` fires *mid-trajectory*: the
+    trajectory runs to the point of loss (its device work is honestly
+    spent — that is the cost of dying late), the update is discarded,
+    links and RNG are restored from the newest snapshot, and the
+    trajectory replays.  Because the restore is exact, the surviving
+    stream is bitwise identical to a fault-free campaign; the lost
+    work shows up only in the modeled clock and the recovery trace.
+    """
+    if store is None:
+        store = TrajectorySnapshotStore(keep=snapshot_keep)
+    store.snapshot(hmc.u, hmc.rng, trajectory=-1)
+    device = hmc.u[0].context.device
+    kills = 0
+    replays = 0
+    lost = 0.0
+    results = []
+    n = 0
+    while n < n_trajectories:
+        event = (plan.draw("rank", "kill", f"traj{n}")
+                 if plan is not None else None)
+        if event is not None:
+            # the doomed attempt: its modeled time is the lost work
+            t0 = device.clock
+            hmc.trajectory(tau)
+            lost_here = device.clock - t0
+            lost += lost_here
+            restored = store.restore(hmc.u, hmc.rng)
+            kills += 1
+            replays += 1
+            event.detail.update({"trajectory": n,
+                                 "restored_from": restored,
+                                 "lost_work_s": lost_here})
+            plan.record_recovery(
+                event, f"restored trajectory {restored} snapshot; "
+                       f"replaying trajectory {n}", retries=1,
+                backoff_s=plan.policy.backoff_s(0))
+            continue
+        results.append(hmc.trajectory(tau))
+        store.snapshot(hmc.u, hmc.rng, trajectory=n)
+        n += 1
+    return CampaignResult(trajectories=n_trajectories, kills=kills,
+                          replays=replays, lost_work_s=lost,
+                          results=results)

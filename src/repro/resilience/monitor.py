@@ -1,0 +1,31 @@
+"""Straggler detection over the ranks' modeled device clocks.
+
+A straggler never announces itself — it is visible only as a rank
+whose modeled clock runs ahead of its peers while the collective
+waits.  The detector is a pure function of the clock vector so the
+flagging schedule replays deterministically with the fault plan.
+"""
+
+from __future__ import annotations
+
+
+def detect_stragglers(clocks: list[float],
+                      threshold: float) -> list[int]:
+    """Ranks whose clock exceeds ``threshold`` x the median clock.
+
+    The median is the collective's natural notion of "where the bulk
+    of the machine is"; a homogeneous bulk-synchronous workload keeps
+    every rank within modeling noise of it, so only a genuinely hung
+    rank crosses a multiple like 4x.  The *lower* median is used so
+    that on small (even two-rank) machines a single straggler cannot
+    drag the reference point toward itself.  With a zero median
+    (nothing has run yet) any positive clock is flagged.  Returns
+    flagged rank indices in rank order.
+    """
+    if not clocks:
+        return []
+    ordered = sorted(clocks)
+    median = ordered[(len(ordered) - 1) // 2]
+    if median <= 0.0:
+        return [r for r, c in enumerate(clocks) if c > 0.0]
+    return [r for r, c in enumerate(clocks) if c > threshold * median]

@@ -18,7 +18,11 @@ Public surface:
 from .scheduler import FairShareScheduler, FIFOScheduler, make_scheduler
 from .server import AdmissionRejected, Server, ServingStats, SharedKernelCache
 from .tenant import Session, Tenant, TenantStats
-from .workloads import cg_diag_workload, shift_sweep_workload
+from .workloads import (
+    cg_diag_workload,
+    shift_sweep_workload,
+    vm_shift_workload,
+)
 
 __all__ = [
     "AdmissionRejected",
@@ -33,4 +37,5 @@ __all__ = [
     "cg_diag_workload",
     "make_scheduler",
     "shift_sweep_workload",
+    "vm_shift_workload",
 ]

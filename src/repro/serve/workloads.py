@@ -117,3 +117,49 @@ def shift_sweep_workload(dims=(4, 4, 4, 4), seed: int = 23,
         return {"f": f.to_numpy(), "norm2": final, "sweeps": sweeps}
 
     return workload
+
+
+def vm_shift_workload(global_dims=(4, 4, 4, 8), grid_dims=(1, 1, 1, 2),
+                      seed: int = 31, sweeps: int = 3,
+                      faults=False, resilience=False,
+                      recover_policy: str = "buddy"):
+    """A multi-rank session: boundary-crossing shifts on a private VM.
+
+    The tenant brings its own :class:`~repro.comm.VirtualMachine`
+    (its own rank devices — the shared serving device only hosts the
+    session's bookkeeping), one global shift sweep per yield.  With a
+    ``faults`` plan carrying ``rank.kill`` specs and
+    ``resilience="recover"``, a rank dies and recovers *inside* this
+    tenant's session; the returned dict reports what the resilience
+    layer saw, and co-tenants must be bitwise unperturbed — which the
+    chaos harness asserts.
+
+    ``faults=False`` (not ``None``) by default: a tenant's private
+    machine must not silently pick up an ambient process-wide plan.
+    """
+
+    def workload(ctx):
+        from ..comm import VirtualMachine
+        from ..qdp.typesys import fermion
+
+        vm = VirtualMachine(global_dims, grid_dims, faults=faults,
+                            resilience=resilience,
+                            recover_policy=recover_policy)
+        g = vm.global_lattice
+        rng = np.random.default_rng(seed)
+        data = (rng.normal(size=(g.nsites,) + (4, 3))
+                + 1j * rng.normal(size=(g.nsites,) + (4, 3)))
+        f = vm.field(fermion(), "psi")
+        f.from_global(data)
+        d = vm.field(fermion(), "chi")
+        nd = len(global_dims)
+        for s in range(sweeps):
+            vm.shift_into(d, f, (s % nd), +1)
+            f, d = d, f
+            yield                 # one global sweep per chunk
+        stats = (vm.resilience.as_json()
+                 if vm.resilience is not None else None)
+        return {"f": f.to_global(), "norm2": vm.norm2(f),
+                "resilience": stats}
+
+    return workload

@@ -5,6 +5,8 @@ import pytest
 
 from repro.hmc.checkpoint import (
     CheckpointError,
+    CheckpointManager,
+    TrajectorySnapshotStore,
     load_config,
     save_config,
 )
@@ -108,3 +110,95 @@ class TestRoundTrip:
         u2, header = load_config(tmp_path / "stream.npz")
         assert header.trajectory == 1
         assert plaquette(u2) == pytest.approx(plaquette(u), abs=1e-14)
+
+
+class TestCheckpointManager:
+    def test_keeps_last_n(self, ctx, lat4, rng, tmp_path):
+        u = weak_gauge(lat4, rng, eps=0.3)
+        mgr = CheckpointManager(tmp_path, keep=2)
+        for n in (1, 2, 3, 4):
+            mgr.save(u, trajectory=n)
+        assert [p.name for p in mgr.paths()] \
+            == ["cfg_000003.npz", "cfg_000004.npz"]
+
+    def test_load_latest_returns_newest(self, ctx, lat4, rng, tmp_path):
+        u = weak_gauge(lat4, rng, eps=0.3)
+        mgr = CheckpointManager(tmp_path, keep=3)
+        for n in (5, 6, 7):
+            mgr.save(u, trajectory=n)
+        _, header, skipped = mgr.load_latest()
+        assert header.trajectory == 7
+        assert skipped == []
+
+    def test_load_latest_skips_corrupt_newest(self, ctx, lat4, rng,
+                                              tmp_path):
+        """A torn final write falls back to the previous checkpoint
+        with a warning, instead of aborting the restart."""
+        u = weak_gauge(lat4, rng, eps=0.3)
+        mgr = CheckpointManager(tmp_path, keep=3)
+        mgr.save(u, trajectory=1)
+        mgr.save(u, trajectory=2)
+        newest = mgr.paths()[-1]
+        blob = newest.read_bytes()
+        newest.write_bytes(blob[:len(blob) // 2])
+        with pytest.warns(RuntimeWarning, match="skipping corrupt"):
+            _, header, skipped = mgr.load_latest()
+        assert header.trajectory == 1
+        assert skipped == [newest]
+
+    def test_load_latest_raises_when_nothing_loads(self, ctx, lat4,
+                                                   rng, tmp_path):
+        u = weak_gauge(lat4, rng, eps=0.3)
+        mgr = CheckpointManager(tmp_path, keep=2)
+        mgr.save(u, trajectory=1)
+        for p in mgr.paths():
+            p.write_bytes(b"not a checkpoint")
+        with pytest.warns(RuntimeWarning):
+            with pytest.raises(CheckpointError, match="no loadable"):
+                mgr.load_latest()
+
+    def test_bad_keep_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            CheckpointManager(tmp_path, keep=0)
+
+
+class TestTrajectorySnapshotStore:
+    def test_roundtrip_is_exact(self, ctx, lat4, tmp_path):
+        rng = np.random.default_rng(9)
+        u = weak_gauge(lat4, rng, eps=0.3)
+        before = [umu.to_numpy().copy() for umu in u]
+        state = rng.bit_generator.state
+        store = TrajectorySnapshotStore()
+        store.snapshot(u, rng, trajectory=3)
+        # perturb both, then restore
+        u[0].from_numpy(before[0] * 1.5)
+        rng.normal(size=16)
+        assert store.restore(u, rng) == 3
+        for umu, arr in zip(u, before):
+            assert np.array_equal(umu.to_numpy(), arr)
+        assert rng.bit_generator.state == state
+
+    def test_keeps_last_n(self, ctx, lat4, tmp_path):
+        rng = np.random.default_rng(9)
+        u = weak_gauge(lat4, rng, eps=0.3)
+        store = TrajectorySnapshotStore(keep=2)
+        for n in range(5):
+            store.snapshot(u, rng, trajectory=n)
+        assert len(store) == 2
+        assert store.latest_trajectory == 4
+
+    def test_crc_guard(self, ctx, lat4, tmp_path):
+        rng = np.random.default_rng(9)
+        u = weak_gauge(lat4, rng, eps=0.3)
+        store = TrajectorySnapshotStore()
+        store.snapshot(u, rng, trajectory=0)
+        # corrupt the stored payload behind the CRC's back
+        store._snapshots[-1][1][0][0, 0, 0] += 1.0
+        with pytest.raises(CheckpointError, match="CRC32"):
+            store.restore(u, rng)
+
+    def test_empty_store_raises(self, ctx, lat4, tmp_path):
+        rng = np.random.default_rng(9)
+        u = weak_gauge(lat4, rng, eps=0.3)
+        with pytest.raises(CheckpointError, match="no trajectory"):
+            TrajectorySnapshotStore().restore(u, rng)

@@ -1,0 +1,88 @@
+"""Tests for resilient HMC campaigns (trajectory-level recovery)."""
+
+import numpy as np
+import pytest
+
+from repro.faults import FaultPlan
+from repro.hmc.checkpoint import TrajectorySnapshotStore
+from repro.resilience import run_campaign
+
+
+def _make_hmc(rng):
+    from repro.hmc import (
+        HMC,
+        GaugeMonomial,
+        Level,
+        MultiTimescaleIntegrator,
+    )
+    from repro.qcd.gauge import weak_gauge
+    from repro.qdp.lattice import Lattice
+
+    u = weak_gauge(Lattice((2, 2, 2, 4)), rng, eps=0.3)
+    return HMC(u, MultiTimescaleIntegrator(
+        [Level([GaugeMonomial(beta=5.6)], n_steps=4)]), rng), u
+
+
+def _plaq(u):
+    from repro.qcd.gauge import plaquette
+
+    return plaquette(u)
+
+
+class TestCampaign:
+    def test_clean_campaign(self, fresh_ctx):
+        hmc, u = _make_hmc(np.random.default_rng(3))
+        res = run_campaign(hmc, n_trajectories=3, tau=0.3)
+        assert res.trajectories == 3
+        assert res.kills == res.replays == 0
+        assert res.lost_work_s == 0.0
+        assert len(res.results) == 3
+
+    def test_kill_replays_bitwise(self, fresh_ctx):
+        hmc, u = _make_hmc(np.random.default_rng(3))
+        clean = run_campaign(hmc, n_trajectories=3, tau=0.3)
+        plaq_clean = _plaq(u)
+
+        hmc2, u2 = _make_hmc(np.random.default_rng(3))
+        plan = FaultPlan(seed=14).add("rank.kill", count=1,
+                                      match="traj1")
+        chaos = run_campaign(hmc2, n_trajectories=3, tau=0.3,
+                             plan=plan)
+        assert _plaq(u2) == plaq_clean
+        assert chaos.kills == chaos.replays == 1
+        assert chaos.lost_work_s > 0
+        assert plan.all_recovered()
+        assert [r.accepted for r in chaos.results] \
+            == [r.accepted for r in clean.results]
+        assert [r.delta_h for r in chaos.results] \
+            == [r.delta_h for r in clean.results]
+
+    def test_same_seed_replays_identical_trace(self, fresh_ctx):
+        def go(plan):
+            hmc, _ = _make_hmc(np.random.default_rng(3))
+            run_campaign(hmc, n_trajectories=3, tau=0.3, plan=plan)
+            return plan
+
+        a = go(FaultPlan(seed=14).add("rank.kill", count=1,
+                                      match="traj1"))
+        b = go(FaultPlan(seed=14).add("rank.kill", count=1,
+                                      match="traj1"))
+        assert a.trace_signature() == b.trace_signature()
+
+    def test_snapshot_store_is_updated(self, fresh_ctx):
+        hmc, _ = _make_hmc(np.random.default_rng(3))
+        store = TrajectorySnapshotStore(keep=2)
+        run_campaign(hmc, n_trajectories=3, tau=0.3, store=store)
+        assert store.latest_trajectory == 2
+        assert len(store) == 2
+
+    def test_kill_event_carries_lost_work(self, fresh_ctx):
+        hmc, _ = _make_hmc(np.random.default_rng(3))
+        plan = FaultPlan(seed=14).add("rank.kill", count=1,
+                                      match="traj0")
+        res = run_campaign(hmc, n_trajectories=2, tau=0.3, plan=plan)
+        (event,) = [e for e in plan.trace if e.kind == "kill"]
+        assert event.detail["trajectory"] == 0
+        assert event.detail["restored_from"] == -1
+        assert event.detail["lost_work_s"] == pytest.approx(
+            res.lost_work_s)

@@ -1,0 +1,32 @@
+"""Unit tests for the straggler detector."""
+
+from repro.resilience import detect_stragglers
+
+
+class TestDetectStragglers:
+    def test_no_stragglers_on_equal_clocks(self):
+        assert detect_stragglers([1.0, 1.0, 1.0, 1.0], 4.0) == []
+
+    def test_flags_the_slow_rank(self):
+        assert detect_stragglers([1.0, 1.0, 9.0, 1.0], 4.0) == [2]
+
+    def test_threshold_is_exclusive(self):
+        # exactly threshold x median is on time
+        assert detect_stragglers([1.0, 4.0], 4.0) == []
+        assert detect_stragglers([1.0, 4.0 + 1e-12], 4.0) == [1]
+
+    def test_two_rank_machine_uses_lower_median(self):
+        """With an even rank count the *lower* median is the
+        reference — averaging the middle pair would let a single
+        straggler drag the median up and hide itself."""
+        assert detect_stragglers([1.0, 100.0], 4.0) == [1]
+
+    def test_multiple_stragglers(self):
+        assert detect_stragglers([1.0, 50.0, 1.0, 60.0], 4.0) == [1, 3]
+
+    def test_zero_median_flags_any_positive_clock(self):
+        assert detect_stragglers([0.0, 0.0, 5.0], 4.0) == [2]
+
+    def test_empty_and_single(self):
+        assert detect_stragglers([], 4.0) == []
+        assert detect_stragglers([7.0], 4.0) == []

@@ -1,0 +1,72 @@
+"""Multi-tenant isolation under rank failure.
+
+A tenant may bring its own virtual machine into a session
+(:func:`repro.serve.vm_shift_workload`); a rank dying *inside* that
+tenant's private machine is that tenant's problem alone — co-tenants'
+results and deterministic stats must be bitwise unperturbed, and the
+victim itself recovers to the bitwise fault-free answer.
+"""
+
+import numpy as np
+
+from repro.faults import FaultPlan
+from repro.serve import Server, cg_diag_workload, vm_shift_workload
+
+
+def _pair(alice_faults=False, resilience=False):
+    srv = Server(policy="fair")
+    a = srv.tenant("alice", weight=2.0)
+    b = srv.tenant("bob")
+    sa = srv.submit(a, vm_shift_workload(
+        global_dims=(4, 4, 4, 8), grid_dims=(1, 1, 1, 2), seed=31,
+        sweeps=3, faults=alice_faults, resilience=resilience))
+    sb = srv.submit(b, cg_diag_workload(dims=(2, 2, 2, 4), seed=22,
+                                        max_iter=25))
+    srv.drain()
+    return srv, sa, sb
+
+
+def _deterministic_stats(srv, name):
+    j = srv.tenants[name].stats.as_json()
+    j.pop("wall_s")          # measured host time, never deterministic
+    return j
+
+
+def test_vm_workload_runs_clean():
+    _, sa, sb = _pair()
+    assert sa.state == sb.state == "done"
+    assert sa.result["resilience"] is None
+    assert sa.result["norm2"] > 0
+
+
+def test_rank_kill_in_one_tenant_leaves_cotenants_bitwise():
+    srv0, ca, cb = _pair()
+    plan = FaultPlan(seed=19).add("rank.kill", count=1,
+                                  match="rank1:*")
+    srv1, sa, sb = _pair(plan, resilience="recover")
+
+    rz = sa.result["resilience"]
+    assert rz["kills_injected"] == 1
+    assert rz["recoveries_by_policy"] == {"buddy": 1}
+    assert plan.all_recovered()
+    # the victim recovers to the bitwise fault-free answer...
+    assert np.array_equal(sa.result["f"], ca.result["f"])
+    # ...and bob never notices: results and stats bitwise equal
+    assert np.array_equal(sb.result["x"], cb.result["x"])
+    assert _deterministic_stats(srv1, "bob") \
+        == _deterministic_stats(srv0, "bob")
+
+
+def test_private_machine_ignores_ambient_plans():
+    """faults=False (the default) must not pick up a process-wide
+    installed plan: a tenant opts into chaos explicitly."""
+    from repro.faults import plan as plan_mod
+
+    plan = FaultPlan(seed=19).add("rank.kill", count=1,
+                                  match="rank1:*")
+    plan_mod.install_plan(plan)
+    try:
+        _, sa, _ = _pair(alice_faults=False, resilience="recover")
+        assert sa.result["resilience"]["kills_injected"] == 0
+    finally:
+        plan_mod.install_plan(None)

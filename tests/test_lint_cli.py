@@ -74,6 +74,13 @@ class TestCLI:
         assert "tenant-a (weight 2)" in out
         assert "tenant-b (weight 1)" in out
 
+    def test_reports_resilience_mini_run(self, run):
+        _, out = run
+        assert "-- resilience (REPRO_RESILIENCE=" in out
+        assert "straggler(s) flagged" in out
+        assert "recoveries:" in out
+        assert "checkpoint(s)" in out
+
     def test_dslash_stencil_findings_surface(self, run):
         _, out = run
         assert "shift-antiparallel" in out
@@ -95,7 +102,7 @@ class TestJSON:
     def test_exit_status_and_schema_version(self, run_json):
         status, report = run_json
         assert status == 0
-        assert report["schema_version"] == 7
+        assert report["schema_version"] == 8
         assert report["summary"]["status"] == "ok"
         assert report["summary"]["errors"] == 0
         assert report["summary"]["kernels"] == len(report["kernels"])
@@ -237,6 +244,41 @@ class TestJSON:
         tenant_total = sum(t["jit_hits"] + t["jit_misses"]
                            for t in sv["tenants"].values())
         assert cache_total == tenant_total
+
+    def test_resilience_block(self, run_json):
+        """Without REPRO_RESILIENCE the block reports mode=off, no
+        policy and all-zero counters (nothing was injected)."""
+        _, report = run_json
+        rz = report["resilience"]
+        assert set(rz) == {"mode", "policy", "kills_injected",
+                           "stragglers_injected", "stragglers_flagged",
+                           "detections", "recoveries_by_policy",
+                           "recovery_modeled_s", "checkpoints",
+                           "checkpoint_bytes", "restored_payloads"}
+        assert rz["mode"] in ("off", "detect", "recover")
+        if rz["mode"] == "off":
+            assert rz["policy"] is None
+            assert rz["kills_injected"] == 0
+            assert rz["recoveries_by_policy"] == {}
+            assert rz["recovery_modeled_s"] == 0.0
+
+    def test_resilience_mini_run_recovers_under_chaos(self, ctx,
+                                                      monkeypatch):
+        """Point the knobs at a rank-kill plan: the mini-run's VM
+        must detect the kill, recover it, and report it in the block."""
+        from repro.lint import _resilience_mini_run
+
+        monkeypatch.setenv("REPRO_FAULTS",
+                           "plan:seed=5,rank.kill=1x@rank1:*")
+        monkeypatch.setenv("REPRO_RESILIENCE", "recover")
+        rz = _resilience_mini_run()
+        assert rz["mode"] == "recover"
+        assert rz["policy"] == "buddy"
+        assert rz["kills_injected"] == 1
+        assert rz["recoveries_by_policy"] == {"buddy": 1}
+        assert rz["recovery_modeled_s"] > 0
+        assert rz["checkpoints"] > 0
+        assert rz["restored_payloads"] > 0
 
     def test_json_output_is_pure(self, ctx):
         """--json prints a single parseable document, nothing else."""
